@@ -1,0 +1,67 @@
+// Ablation — routing-scheme and virtual-channel design choices on
+// SpectralFly (DESIGN.md §5): the paper's three schemes plus the library's
+// UGAL-G and adaptive-minimal extensions, and the VC-pool sizing rule.
+
+#include "bench_common.hpp"
+
+using namespace sfly;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::Flags::usage(
+      "Ablation: routing schemes and VC sizing on SpectralFly",
+      "#   --ranks N  MPI ranks (default 512)\n"
+      "#   --msgs N   messages per rank (default 16)");
+  const std::uint32_t nranks =
+      static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 2048 : 512));
+  const std::uint32_t msgs = static_cast<std::uint32_t>(flags.get("--msgs", 16));
+
+  auto topos = bench::simulation_topologies(false);
+  const auto& sf = topos[0];  // SpectralFly
+
+  const routing::Algo algos[] = {routing::Algo::kMinimal, routing::Algo::kAdaptiveMin,
+                                 routing::Algo::kValiant, routing::Algo::kUgalL,
+                                 routing::Algo::kUgalG};
+
+  std::printf("== Routing-scheme ablation (max message time, %s pattern) ==\n",
+              sim::pattern_name(sim::Pattern::kShuffle));
+  Table t({"Load", "minimal", "adaptive-min", "valiant", "ugal-l", "ugal-g"});
+  for (double load : {0.2, 0.4, 0.6}) {
+    std::vector<std::string> row{Table::num(load, 1)};
+    for (auto algo : algos)
+      row.push_back(Table::num(bench::run_pattern(sf, algo, sim::Pattern::kShuffle,
+                                                  load, nranks, msgs, 42) / 1000.0,
+                               1));
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("# (values in microseconds; lower is better)\n\n");
+
+  // VC sizing ablation: the paper's rule (2d+1 for UGAL) vs a starved pool.
+  std::printf("== VC-pool ablation (UGAL-L, bit-shuffle @ 0.5) ==\n");
+  Table t2({"VCs", "Max message us"});
+  core::NetworkOptions base;
+  base.concentration = sf.concentration;
+  base.routing = routing::Algo::kUgalL;
+  auto probe_vcs = [&](std::uint32_t vcs) {
+    core::NetworkOptions opts = base;
+    opts.vcs = vcs;
+    auto net = core::Network::from_graph(sf.name, sf.graph, opts);
+    auto simulator = net.make_simulator(42);
+    sim::SyntheticLoad sl;
+    sl.pattern = sim::Pattern::kShuffle;
+    sl.nranks = nranks;
+    sl.messages_per_rank = msgs;
+    sl.offered_load = 0.5;
+    return run_synthetic(*simulator, sl).max_latency_ns / 1000.0;
+  };
+  auto net_probe = core::Network::from_graph(sf.name, sf.graph, base);
+  const std::uint32_t paper_vcs = 2 * net_probe.diameter() + 1;
+  for (std::uint32_t vcs : {paper_vcs, paper_vcs / 2 + 1, 2u})
+    t2.add_row({std::to_string(vcs) + (vcs == paper_vcs ? " (paper rule)" : ""),
+                Table::num(probe_vcs(vcs), 1)});
+  t2.print();
+  std::printf("# Fewer VCs than hops shares the top channel among tail hops; at\n"
+              "# moderate load the effect is mild, under saturation it grows.\n");
+  return 0;
+}

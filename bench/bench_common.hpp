@@ -1,0 +1,102 @@
+#pragma once
+// Shared helpers for the per-figure/per-table benchmark harnesses: a tiny
+// flag parser (--full, --seed N, ...) and the simulation-campaign runner
+// used by the Section VI benches.
+//
+// Every bench defaults to a reduced-scale preset that reproduces the
+// paper's qualitative shape in minutes; pass --full for the exact paper
+// configuration.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/spectralfly_net.hpp"
+#include "sim/traffic.hpp"
+#include "topo/bundlefly.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/factory.hpp"
+#include "topo/lps.hpp"
+#include "topo/slimfly.hpp"
+#include "util/table.hpp"
+
+namespace sfly::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (const auto& a : args_)
+      if (a == name) return true;
+    return false;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& name, std::uint64_t dflt) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == name) return std::stoull(args_[i + 1]);
+    return dflt;
+  }
+  [[nodiscard]] bool full() const { return has("--full"); }
+
+  static void usage(const char* what, const char* extra = "") {
+    std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",
+                what, extra);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// ---------------------------------------------------------------------
+// The four simulation-scale topologies of Section VI-B.
+
+struct SimTopo {
+  std::string name;
+  Graph graph;
+  std::uint32_t concentration = 8;
+};
+
+inline std::vector<SimTopo> simulation_topologies(bool full) {
+  std::vector<SimTopo> out;
+  if (full) {
+    // Paper configuration: ~8.7k endpoints, 32-port routers.
+    out.push_back({"SpectralFly", topo::lps_graph({23, 13}), 8});       // 1092 r
+    out.push_back({"DragonFly", topo::dragonfly_graph({16, 8, 69}), 8}); // 1104 r
+    out.push_back({"SlimFly", topo::slimfly_graph({27}), 8});            // 1458 r
+    out.push_back({"BundleFly",
+                   topo::bundlefly_graph({9, 9, topo::BundleShift::kAffine}), 6});
+  } else {
+    // Reduced preset (~1.3k endpoints) with the same relative shapes.
+    out.push_back({"SpectralFly", topo::lps_graph({11, 7}), 8});         // 168 r
+    out.push_back({"DragonFly", topo::dragonfly_graph({8, 4, 21}), 8});  // 168 r
+    out.push_back({"SlimFly", topo::slimfly_graph({9}), 8});             // 162 r
+    out.push_back({"BundleFly",
+                   topo::bundlefly_graph({13, 3, topo::BundleShift::kOptimized}), 6});
+  }
+  return out;
+}
+
+// One synthetic-pattern run; returns the paper's metric (max message time).
+inline double run_pattern(const SimTopo& t, routing::Algo algo, sim::Pattern pattern,
+                          double load, std::uint32_t nranks,
+                          std::uint32_t messages_per_rank, std::uint64_t seed) {
+  core::NetworkOptions opts;
+  opts.concentration = t.concentration;
+  opts.routing = algo;
+  auto net = core::Network::from_graph(t.name, t.graph, opts);
+  auto sim = net.make_simulator(seed);
+  sim::SyntheticLoad sl;
+  sl.pattern = pattern;
+  sl.nranks = nranks;
+  sl.messages_per_rank = messages_per_rank;
+  sl.offered_load = load;
+  sl.seed = seed;
+  return run_synthetic(*sim, sl).max_latency_ns;
+}
+
+inline const double kLoads[] = {0.1, 0.2, 0.3, 0.5, 0.6, 0.7};
+
+}  // namespace sfly::bench

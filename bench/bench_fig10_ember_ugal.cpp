@@ -1,0 +1,15 @@
+// Fig. 10 — the Ember motifs of Fig. 9 run under UGAL routing, reported
+// as speedup relative to DragonFly-UGAL.
+
+#include "ember_common.hpp"
+
+int main(int argc, char** argv) {
+  std::printf("== Fig. 10: Ember motifs, UGAL routing, speedup vs DragonFly ==\n");
+  int rc = sfly::bench::run_ember(argc, argv, sfly::routing::Algo::kUgalL,
+                                  "Fig. 10: Ember motifs under UGAL routing");
+  std::printf(
+      "\n# Paper shape: SpectralFly still ahead on Halo3D-26 and Sweep3D;\n"
+      "# DragonFly-UGAL wins both FFT motifs, with SpectralFly second\n"
+      "# (~90%% of DragonFly's efficiency on balanced FFT).\n");
+  return rc;
+}

@@ -1,0 +1,79 @@
+// Fig. 11 — average and maximum end-to-end physical latency of
+// SpectralFly and SlimFly relative to the SkyWalk topology, as a function
+// of switch latency (0-250 ns), with 5 ns/m cable delay on the heuristic
+// machine-room embedding.
+
+#include "bench_common.hpp"
+
+#include "layout/latency.hpp"
+#include "layout/qap.hpp"
+#include "topo/skywalk.hpp"
+
+using namespace sfly;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::Flags::usage(
+      "Fig. 11: avg/max end-to-end latency relative to SkyWalk vs switch latency",
+      "#   --pairs N     topology pairs (default 2, --full = 4)\n"
+      "#   --skywalks N  SkyWalk instantiations averaged (default 3, paper 20)");
+  const std::size_t npairs =
+      flags.full() ? 4 : static_cast<std::size_t>(flags.get("--pairs", 2));
+  const int skywalks = static_cast<int>(flags.get("--skywalks", flags.full() ? 20 : 3));
+
+  struct Subject {
+    std::string name;
+    Graph graph;
+  };
+  const std::pair<topo::LpsParams, topo::SlimFlyParams> pairs[] = {
+      {{11, 7}, {9}}, {{19, 7}, {13}}, {{23, 11}, {17}}, {{29, 13}, {23}}};
+  const double switch_lat[] = {0, 50, 100, 150, 200, 250};
+
+  for (std::size_t i = 0; i < std::min<std::size_t>(npairs, 4); ++i) {
+    std::vector<Subject> subjects;
+    subjects.push_back({pairs[i].first.name(), topo::lps_graph(pairs[i].first)});
+    subjects.push_back({pairs[i].second.name(), topo::slimfly_graph(pairs[i].second)});
+
+    // Shared-size SkyWalk reference, averaged over instantiations; QAP
+    // layouts computed once per subject and reused across the sweep.
+    const Vertex n = subjects[0].graph.num_vertices();
+    const std::uint32_t k = subjects[0].graph.degree(0);
+    std::vector<layout::LayoutResult> layouts;
+    for (auto& s : subjects)
+      layouts.push_back(layout::optimize_layout(
+          s.graph, {.em_rounds = 3, .swap_passes = 3, .seed = 23}));
+    std::vector<topo::SkyWalkInstance> skies;
+    for (int s = 0; s < skywalks; ++s)
+      skies.push_back(
+          topo::skywalk_graph({n, k, static_cast<std::uint64_t>(s) + 1, 1.0}));
+
+    Table t({"Switch ns", subjects[0].name + " avg", subjects[0].name + " max",
+             subjects[1].name + " avg", subjects[1].name + " max"});
+    for (double sl : switch_lat) {
+      double sky_avg = 0, sky_max = 0;
+      for (const auto& sky : skies) {
+        auto lat = layout::physical_latency(sky.graph, sky.placement, sl);
+        sky_avg += lat.mean_ns;
+        sky_max += lat.max_ns;
+      }
+      sky_avg /= skywalks;
+      sky_max /= skywalks;
+
+      std::vector<std::string> row{Table::num(sl, 0)};
+      for (std::size_t si = 0; si < subjects.size(); ++si) {
+        auto lat = layout::physical_latency(subjects[si].graph,
+                                            layouts[si].placement, sl);
+        row.push_back(Table::num(lat.mean_ns / sky_avg, 3));
+        row.push_back(Table::num(lat.max_ns / sky_max, 3));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("== Fig. 11, size pair %zu: latency ratio vs SkyWalk ==\n", i + 1);
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("# Paper shape: ratios below ~1.0 for most switch latencies\n"
+              "# (both low-diameter topologies beat SkyWalk once switch delay\n"
+              "# matters), with SpectralFly ~5-10%% above SlimFly.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 6 — performance across topologies, traffic patterns and offered
+// loads under UGAL-L routing, reported as speedup of each topology's
+// maximum message time relative to DragonFly-UGAL at the same load.
+
+#include "bench_common.hpp"
+
+using namespace sfly;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::Flags::usage(
+      "Fig. 6: UGAL-L speedup vs DragonFly across patterns and loads",
+      "#   --ranks N  MPI ranks (default 1024; --full = 8192)\n"
+      "#   --msgs N   messages per rank (default 24)");
+  const std::uint32_t nranks =
+      static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
+  const std::uint32_t msgs =
+      static_cast<std::uint32_t>(flags.get("--msgs", 24));
+
+  auto topos = bench::simulation_topologies(flags.full());
+  const sim::Pattern patterns[] = {sim::Pattern::kRandom, sim::Pattern::kShuffle,
+                                   sim::Pattern::kBitReverse,
+                                   sim::Pattern::kTranspose};
+
+  for (auto pattern : patterns) {
+    Table t({"Offered load", "SpectralFly", "SlimFly", "BundleFly",
+             "DragonFly (baseline)"});
+    for (double load : bench::kLoads) {
+      std::vector<double> max_lat(topos.size());
+      for (std::size_t i = 0; i < topos.size(); ++i)
+        max_lat[i] = bench::run_pattern(topos[i], routing::Algo::kUgalL, pattern,
+                                        load, nranks, msgs, 42);
+      const double base = max_lat[1];  // DragonFly is index 1
+      t.add_row({Table::num(load, 1), Table::num(base / max_lat[0], 2),
+                 Table::num(base / max_lat[2], 2), Table::num(base / max_lat[3], 2),
+                 "1.00"});
+    }
+    std::printf("== Fig. 6 (%s), UGAL-L, speedup vs DragonFly ==\n",
+                sim::pattern_name(pattern));
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("# Paper shape: SpectralFly best on all four patterns (superior\n"
+              "# bisection + path diversity); saturation at/beyond 0.7 load.\n");
+  return 0;
+}

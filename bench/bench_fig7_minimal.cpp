@@ -1,0 +1,37 @@
+// Fig. 7 — the random micro-benchmark under minimal routing, reported as
+// speedup relative to DragonFly-Min at the same offered load.
+
+#include "bench_common.hpp"
+
+using namespace sfly;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::Flags::usage(
+      "Fig. 7: minimal-routing speedup vs DragonFly (random pattern)",
+      "#   --ranks N  MPI ranks (default 1024; --full = 8192)\n"
+      "#   --msgs N   messages per rank (default 24)");
+  const std::uint32_t nranks =
+      static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
+  const std::uint32_t msgs =
+      static_cast<std::uint32_t>(flags.get("--msgs", 24));
+
+  auto topos = bench::simulation_topologies(flags.full());
+  Table t({"Offered load", "SpectralFly", "SlimFly", "BundleFly",
+           "DragonFly (baseline)"});
+  for (double load : bench::kLoads) {
+    std::vector<double> max_lat(topos.size());
+    for (std::size_t i = 0; i < topos.size(); ++i)
+      max_lat[i] = bench::run_pattern(topos[i], routing::Algo::kMinimal,
+                                      sim::Pattern::kRandom, load, nranks, msgs, 42);
+    const double base = max_lat[1];
+    t.add_row({Table::num(load, 1), Table::num(base / max_lat[0], 2),
+               Table::num(base / max_lat[2], 2), Table::num(base / max_lat[3], 2),
+               "1.00"});
+  }
+  std::printf("== Fig. 7 (random), minimal routing, speedup vs DragonFly ==\n");
+  t.print();
+  std::printf("\n# Paper shape: SpectralFly above 1.0 throughout; bit shuffle\n"
+              "# and transpose behave similarly (see bench_fig6 for those).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the library's primitives: topology
+// generation, routing-table construction, spectral solves, bisection, and
+// raw simulator packet throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/spectralfly_net.hpp"
+#include "partition/bisection.hpp"
+#include "routing/tables.hpp"
+#include "sim/traffic.hpp"
+#include "spectral/spectra.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/factory.hpp"
+#include "topo/slimfly.hpp"
+
+using namespace sfly;
+
+namespace {
+
+void BM_LpsGenerate(benchmark::State& state) {
+  topo::LpsParams params{static_cast<std::uint64_t>(state.range(0)),
+                         static_cast<std::uint64_t>(state.range(1))};
+  for (auto _ : state) {
+    auto g = topo::lps_graph(params);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetLabel(params.name() + " n=" + std::to_string(params.num_vertices()));
+}
+BENCHMARK(BM_LpsGenerate)->Args({3, 5})->Args({11, 7})->Args({23, 11})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlimFlyGenerate(benchmark::State& state) {
+  topo::SlimFlyParams params{static_cast<std::uint64_t>(state.range(0))};
+  for (auto _ : state) {
+    auto g = topo::slimfly_graph(params);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_SlimFlyGenerate)->Arg(7)->Arg(17)->Arg(27)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingTables(benchmark::State& state) {
+  auto g = topo::lps_graph({11, 7});
+  for (auto _ : state) {
+    auto t = routing::Tables::build(g);
+    benchmark::DoNotOptimize(t.diameter());
+  }
+}
+BENCHMARK(BM_RoutingTables)->Unit(benchmark::kMillisecond);
+
+void BM_Spectra(benchmark::State& state) {
+  auto g = topo::lps_graph({23, 11});
+  for (auto _ : state) {
+    auto s = compute_spectra(g);
+    benchmark::DoNotOptimize(s.lambda);
+  }
+}
+BENCHMARK(BM_Spectra)->Unit(benchmark::kMillisecond);
+
+void BM_Bisection(benchmark::State& state) {
+  auto g = topo::lps_graph({23, 11});
+  for (auto _ : state) {
+    auto cut = bisection_bandwidth(g, {.restarts = 2, .seed = 3});
+    benchmark::DoNotOptimize(cut);
+  }
+}
+BENCHMARK(BM_Bisection)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  auto net = core::Network::spectralfly({11, 7}, {.concentration = 4});
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    auto sim = net.make_simulator(9);
+    sim::SyntheticLoad load;
+    load.pattern = sim::Pattern::kRandom;
+    load.nranks = 256;
+    load.messages_per_rank = 16;
+    load.offered_load = 0.4;
+    auto res = run_synthetic(*sim, load);
+    benchmark::DoNotOptimize(res.max_latency_ns);
+    packets += sim->packets_forwarded();
+  }
+  state.counters["pkt_hops/s"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

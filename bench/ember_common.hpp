@@ -1,0 +1,60 @@
+#pragma once
+// Shared driver for the Ember-motif benches (Fig. 9 minimal / Fig. 10 UGAL).
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sim/motifs.hpp"
+
+namespace sfly::bench {
+
+inline std::unique_ptr<sim::Motif> make_motif(int which, bool full) {
+  switch (which) {
+    case 0:  // Halo3D-26
+      return full ? std::make_unique<sim::Halo3D26>(16, 16, 32, 4)
+                  : std::make_unique<sim::Halo3D26>(8, 8, 8, 3);
+    case 1:  // Sweep3D
+      return full ? std::make_unique<sim::Sweep3D>(64, 128, 8)
+                  : std::make_unique<sim::Sweep3D>(16, 32, 8);
+    case 2:  // FFT balanced (square decomposition)
+      return full ? std::make_unique<sim::FftAllToAll>(90, 90, 2048)
+                  : std::make_unique<sim::FftAllToAll>(22, 22, 2048);
+    default:  // FFT unbalanced (skewed decomposition, larger all-to-alls)
+      return full ? std::make_unique<sim::FftAllToAll>(512, 16, 2048)
+                  : std::make_unique<sim::FftAllToAll>(121, 4, 2048);
+  }
+}
+
+inline int run_ember(int argc, char** argv, routing::Algo algo, const char* what) {
+  Flags flags(argc, argv);
+  Flags::usage(what, "#   (motif sizes scale with --full: 8192-rank grids)");
+  auto topos = simulation_topologies(flags.full());
+
+  Table t({"Motif", "Ranks", "SpectralFly", "SlimFly", "BundleFly",
+           "DragonFly (baseline)"});
+  for (int which = 0; which < 4; ++which) {
+    std::vector<double> completion(topos.size());
+    std::string motif_name;
+    std::uint32_t ranks = 0;
+    for (std::size_t i = 0; i < topos.size(); ++i) {
+      auto motif = make_motif(which, flags.full());
+      motif_name = motif->name();
+      ranks = motif->num_ranks();
+      core::NetworkOptions opts;
+      opts.concentration = topos[i].concentration;
+      opts.routing = algo;
+      auto net = core::Network::from_graph(topos[i].name, topos[i].graph, opts);
+      auto sim = net.make_simulator(42);
+      completion[i] = run_motif(*sim, *motif, 42).completion_ns;
+    }
+    const double base = completion[1];  // DragonFly
+    t.add_row({motif_name, std::to_string(ranks),
+               Table::num(base / completion[0], 2),
+               Table::num(base / completion[2], 2),
+               Table::num(base / completion[3], 2), "1.00"});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace sfly::bench

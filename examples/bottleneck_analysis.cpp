@@ -1,0 +1,64 @@
+// Bottleneck analysis: why does SpectralFly avoid hot routers?
+//
+// Section V argues routers with high betweenness centrality become
+// bottlenecks in a saturated network.  This example contrasts the static
+// betweenness distribution and the *measured* link-load imbalance of a
+// SpectralFly network against a fat tree and a DragonFly of similar size.
+//
+//   $ ./examples/bottleneck_analysis
+
+#include <cstdio>
+
+#include "core/spectralfly_net.hpp"
+#include "graph/betweenness.hpp"
+#include "routing/diversity.hpp"
+#include "sim/traffic.hpp"
+#include "topo/classic.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/lps.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sfly;
+
+  struct Subject {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Subject> subjects;
+  subjects.push_back({"SpectralFly LPS(11,7)", topo::lps_graph({11, 7})});
+  subjects.push_back({"DragonFly DF(12)",
+                      topo::dragonfly_graph(topo::DragonFlyParams::canonical(12))});
+  subjects.push_back({"FatTree(8)", topo::fat_tree_graph(8)});
+
+  Table t({"Topology", "Routers", "Betweenness max/mean", "Single-path pairs",
+           "Link-load CoV @0.6"});
+  for (auto& s : subjects) {
+    auto bw = betweenness_summary(s.graph);
+    auto tables = routing::Tables::build(s.graph);
+    auto div = routing::path_diversity(s.graph, tables, 64);
+
+    core::NetworkOptions opts;
+    opts.concentration = 4;
+    auto net = core::Network::from_graph(s.name, s.graph, opts);
+    auto sim = net.make_simulator(1);
+    sim::SyntheticLoad load;
+    load.pattern = sim::Pattern::kRandom;
+    load.nranks = 256;
+    load.messages_per_rank = 16;
+    load.offered_load = 0.6;
+    (void)run_synthetic(*sim, load);
+
+    t.add_row({s.name, std::to_string(s.graph.num_vertices()),
+               Table::num(bw.imbalance, 2),
+               Table::num(100 * div.single_path_frac, 0) + "%",
+               Table::num(sim->link_load().cov, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nVertex-transitivity makes SpectralFly's betweenness perfectly flat\n"
+      "(max/mean = 1): no router is structurally destined to be a hotspot.\n"
+      "Path diversity then keeps the *measured* link loads even under\n"
+      "random traffic, which is the congestion story of Sections V-VI.\n");
+  return 0;
+}

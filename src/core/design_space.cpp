@@ -1,0 +1,83 @@
+#include "core/design_space.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sfly::core {
+
+double mismatch(const Target& t, std::uint64_t routers, std::uint32_t radix) {
+  const double dr = std::abs(std::log(static_cast<double>(routers) /
+                                      static_cast<double>(t.routers)));
+  const double dk = std::abs(std::log(static_cast<double>(radix) /
+                                      static_cast<double>(t.radix)));
+  return dr + t.radix_weight * dk;
+}
+
+std::optional<topo::LpsParams> closest_lps(const Target& t, std::uint64_t max_p,
+                                           std::uint64_t max_q) {
+  std::optional<topo::LpsParams> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& params : topo::lps_instances(max_p, max_q)) {
+    double s = mismatch(t, params.num_vertices(), params.radix());
+    if (s < best_score) {
+      best_score = s;
+      best = params;
+    }
+  }
+  return best;
+}
+
+std::optional<topo::SlimFlyParams> closest_slimfly(const Target& t,
+                                                   std::uint64_t max_q) {
+  std::optional<topo::SlimFlyParams> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& params : topo::slimfly_instances(max_q)) {
+    double s = mismatch(t, params.num_vertices(), params.radix());
+    if (s < best_score) {
+      best_score = s;
+      best = params;
+    }
+  }
+  return best;
+}
+
+std::optional<topo::BundleFlyParams> closest_bundlefly(const Target& t,
+                                                       std::uint64_t max_p,
+                                                       std::uint64_t max_s) {
+  std::optional<topo::BundleFlyParams> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& pt : topo::feasible_bundlefly(max_p, max_s)) {
+    double s = mismatch(t, pt.vertices, pt.radix);
+    if (s < best_score) {
+      best_score = s;
+      // Re-derive (p, s) from the point name "BF(p,s)".
+      auto comma = pt.name.find(',');
+      topo::BundleFlyParams params;
+      params.p = std::stoull(pt.name.substr(3, comma - 3));
+      params.s = std::stoull(pt.name.substr(comma + 1));
+      best = params;
+    }
+  }
+  return best;
+}
+
+std::optional<topo::DragonFlyParams> closest_dragonfly(const Target& t,
+                                                       std::uint64_t max_a) {
+  std::optional<topo::DragonFlyParams> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::uint64_t a = 2; a <= max_a; ++a) {
+    double s = mismatch(t, a * (a + 1), static_cast<std::uint32_t>(a));
+    if (s < best_score) {
+      best_score = s;
+      best = topo::DragonFlyParams::canonical(a);
+    }
+  }
+  return best;
+}
+
+ComparisonClass assemble_class(const Target& t) {
+  return {closest_lps(t), closest_slimfly(t), closest_bundlefly(t),
+          closest_dragonfly(t)};
+}
+
+}  // namespace sfly::core

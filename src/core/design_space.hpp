@@ -1,0 +1,50 @@
+#pragma once
+// Design-space search: find, for each topology family, the feasible
+// instance closest to a target router count and radix.  This is how the
+// paper assembles its size classes ("for each size class, we conduct a
+// parameter search to select the topology with closest radix and number
+// of vertices relative to the others in that class").
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/factory.hpp"
+
+namespace sfly::core {
+
+struct Target {
+  std::uint64_t routers = 0;
+  std::uint32_t radix = 0;
+  /// Relative weight of the radix mismatch vs the router-count mismatch.
+  double radix_weight = 2.0;
+};
+
+/// Normalized mismatch score; lower is better.
+[[nodiscard]] double mismatch(const Target& t, std::uint64_t routers,
+                              std::uint32_t radix);
+
+/// Closest LPS instance in the Ramanujan range with p,q below the bounds.
+[[nodiscard]] std::optional<topo::LpsParams> closest_lps(const Target& t,
+                                                         std::uint64_t max_p = 300,
+                                                         std::uint64_t max_q = 60);
+
+[[nodiscard]] std::optional<topo::SlimFlyParams> closest_slimfly(
+    const Target& t, std::uint64_t max_q = 100);
+
+[[nodiscard]] std::optional<topo::BundleFlyParams> closest_bundlefly(
+    const Target& t, std::uint64_t max_p = 300, std::uint64_t max_s = 16);
+
+[[nodiscard]] std::optional<topo::DragonFlyParams> closest_dragonfly(
+    const Target& t, std::uint64_t max_a = 200);
+
+/// A full comparison class at the target point (one instance per family).
+struct ComparisonClass {
+  std::optional<topo::LpsParams> lps;
+  std::optional<topo::SlimFlyParams> slimfly;
+  std::optional<topo::BundleFlyParams> bundlefly;
+  std::optional<topo::DragonFlyParams> dragonfly;
+};
+[[nodiscard]] ComparisonClass assemble_class(const Target& t);
+
+}  // namespace sfly::core

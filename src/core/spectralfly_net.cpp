@@ -1,0 +1,34 @@
+#include "core/spectralfly_net.hpp"
+
+namespace sfly::core {
+
+Network::Network(std::string name, Graph g, NetworkOptions opts)
+    : name_(std::move(name)), topology_(std::move(g)), opts_(opts) {
+  tables_ = std::make_shared<routing::Tables>(routing::Tables::build(topology_));
+  if (opts_.vcs == 0)
+    opts_.vcs = routing::required_vcs(opts_.routing, tables_->diameter());
+}
+
+Network Network::spectralfly(const topo::LpsParams& params, const NetworkOptions& opts) {
+  return Network(params.name(), topo::lps_graph(params), opts);
+}
+
+Network Network::from_graph(std::string name, Graph topology, const NetworkOptions& opts) {
+  return Network(std::move(name), std::move(topology), opts);
+}
+
+const Spectra& Network::spectra() const {
+  if (!spectra_) spectra_ = std::make_unique<Spectra>(compute_spectra(topology_));
+  return *spectra_;
+}
+
+std::unique_ptr<sim::Simulator> Network::make_simulator(std::uint64_t seed) const {
+  sim::SimConfig cfg = opts_.sim;
+  cfg.concentration = opts_.concentration;
+  cfg.algo = opts_.routing;
+  cfg.vcs = opts_.vcs;
+  cfg.seed = seed;
+  return std::make_unique<sim::Simulator>(topology_, *tables_, cfg);
+}
+
+}  // namespace sfly::core

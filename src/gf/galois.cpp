@@ -1,0 +1,170 @@
+#include "gf/galois.hpp"
+
+#include <stdexcept>
+
+#include "nt/numtheory.hpp"
+
+namespace sfly::gf {
+namespace {
+
+// Multiply polynomials over GF(p) (coefficient vectors, index = degree)
+// modulo the monic irreducible `mod`.
+std::vector<unsigned> polymulmod(const std::vector<unsigned>& a,
+                                 const std::vector<unsigned>& b,
+                                 const std::vector<unsigned>& mod,
+                                 std::uint64_t p) {
+  std::vector<unsigned> r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      r[i + j] = static_cast<unsigned>((r[i + j] + (std::uint64_t)a[i] * b[j]) % p);
+  // Reduce modulo `mod` (monic, degree k): cancel leading terms top-down.
+  const std::size_t k = mod.size() - 1;
+  for (std::size_t d = r.size(); d-- > k;) {
+    unsigned c = r[d];
+    if (!c) continue;
+    for (std::size_t j = 0; j <= k; ++j) {
+      std::uint64_t sub = (std::uint64_t)c * mod[j] % p;
+      r[d - k + j] = static_cast<unsigned>((r[d - k + j] + p - sub) % p);
+    }
+  }
+  r.resize(k);
+  return r;
+}
+
+// Encode polynomial as integer in base p.
+std::uint64_t encode(const std::vector<unsigned>& poly, std::uint64_t p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = poly.size(); i-- > 0;) v = v * p + poly[i];
+  return v;
+}
+
+std::vector<unsigned> decode(std::uint64_t v, std::uint64_t p, unsigned k) {
+  std::vector<unsigned> poly(k, 0);
+  for (unsigned i = 0; i < k; ++i) {
+    poly[i] = static_cast<unsigned>(v % p);
+    v /= p;
+  }
+  return poly;
+}
+
+// Find a monic irreducible polynomial of degree k over GF(p) by testing
+// that x^(p^k) = x and x^(p^(k/d)) != x for proper prime divisors d — for
+// the tiny degrees we need, a simpler root/factor check suffices: test
+// irreducibility by checking the polynomial has no roots (k<=3) plus, for
+// k=4+, trial division by all monic polynomials of degree <= k/2.
+bool is_irreducible(const std::vector<unsigned>& poly, std::uint64_t p) {
+  const unsigned k = static_cast<unsigned>(poly.size() - 1);
+  // Root check covers reducibility for k = 2, 3.
+  for (std::uint64_t x = 0; x < p; ++x) {
+    std::uint64_t val = 0;
+    for (std::size_t i = poly.size(); i-- > 0;) val = (val * x + poly[i]) % p;
+    if (val == 0) return false;
+  }
+  if (k <= 3) return true;
+  // Trial division for k >= 4.
+  for (unsigned d = 2; d <= k / 2; ++d) {
+    std::uint64_t count = 1;
+    for (unsigned i = 0; i < d; ++i) count *= p;
+    for (std::uint64_t v = 0; v < count; ++v) {
+      std::vector<unsigned> div = decode(v, p, d);
+      div.push_back(1);  // monic degree d
+      // Polynomial long division remainder check.
+      std::vector<unsigned> rem(poly);
+      for (std::size_t dd = rem.size(); dd-- > d;) {
+        unsigned c = rem[dd];
+        if (!c) continue;
+        for (unsigned j = 0; j <= d; ++j) {
+          std::uint64_t sub = (std::uint64_t)c * div[j] % p;
+          rem[dd - d + j] = static_cast<unsigned>((rem[dd - d + j] + p - sub) % p);
+        }
+      }
+      bool zero = true;
+      for (unsigned j = 0; j < d; ++j)
+        if (rem[j]) zero = false;
+      if (zero) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Field::Field(std::uint64_t q) : q_(q) {
+  auto pk = nt::prime_power(q);
+  if (!pk) throw std::invalid_argument("Field: q must be a prime power");
+  p_ = pk->first;
+  k_ = pk->second;
+
+  // Build multiplication structure.
+  std::vector<unsigned> mod;  // monic irreducible of degree k
+  if (k_ > 1) {
+    const std::uint64_t count = [&] {
+      std::uint64_t c = 1;
+      for (unsigned i = 0; i < k_; ++i) c *= p_;
+      return c;
+    }();
+    for (std::uint64_t v = 0; v < count && mod.empty(); ++v) {
+      std::vector<unsigned> cand = decode(v, p_, k_);
+      cand.push_back(1);
+      if (is_irreducible(cand, p_)) mod = cand;
+    }
+    if (mod.empty()) throw std::logic_error("Field: no irreducible found");
+  }
+
+  auto mul_raw = [&](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+    if (k_ == 1) return a * b % p_;
+    return encode(
+        polymulmod(decode(a, p_, k_), decode(b, p_, k_), mod, p_), p_);
+  };
+
+  // Addition and negation tables (component-wise mod p).
+  add_.resize(q_ * q_);
+  neg_.resize(q_);
+  for (std::uint64_t a = 0; a < q_; ++a) {
+    auto pa = decode(a, p_, k_);
+    for (unsigned i = 0; i < k_; ++i) pa[i] = static_cast<unsigned>((p_ - pa[i]) % p_);
+    neg_[a] = static_cast<Elt>(encode(pa, p_));
+    for (std::uint64_t b = 0; b < q_; ++b) {
+      auto x = decode(a, p_, k_);
+      auto y = decode(b, p_, k_);
+      for (unsigned i = 0; i < k_; ++i) x[i] = static_cast<unsigned>((x[i] + y[i]) % p_);
+      add_[a * q_ + b] = static_cast<Elt>(encode(x, p_));
+    }
+  }
+
+  // Find a primitive element and build exp/log tables.
+  exp_.assign(q_ - 1, 0);
+  log_.assign(q_, 0);
+  for (std::uint64_t g = 1; g < q_; ++g) {
+    std::uint64_t x = 1;
+    std::uint64_t ord = 0;
+    do {
+      x = mul_raw(x, g);
+      ++ord;
+    } while (x != 1 && ord <= q_);
+    if (ord == q_ - 1) {
+      xi_ = static_cast<Elt>(g);
+      break;
+    }
+  }
+  if (xi_ == 0) throw std::logic_error("Field: no primitive element");
+  std::uint64_t x = 1;
+  for (std::uint64_t e = 0; e < q_ - 1; ++e) {
+    exp_[e] = static_cast<Elt>(x);
+    log_[x] = static_cast<unsigned>(e);
+    x = mul_raw(x, xi_);
+  }
+}
+
+Field::Elt Field::inv(Elt a) const {
+  if (a == 0) throw std::invalid_argument("Field::inv(0)");
+  return exp_[(q_ - 1 - log_[a]) % (q_ - 1)];
+}
+
+bool Field::is_square(Elt a) const {
+  if (a == 0) return false;
+  if (p_ == 2) return true;  // every element is a square in char 2
+  return log_[a] % 2 == 0;
+}
+
+}  // namespace sfly::gf

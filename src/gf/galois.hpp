@@ -1,0 +1,60 @@
+#pragma once
+// Small finite fields GF(p^k), table-driven.
+//
+// The MMS / SlimFly construction needs GF(q) for prime powers q (the paper
+// instantiates SF(9) = GF(3^2), SF(27) = GF(3^3), and BundleFly uses
+// MMS(4) = GF(2^2)).  Fields of interest are tiny (q <= a few thousand), so
+// we represent elements as indices 0..q-1 and precompute full exp/log
+// tables over a primitive element.
+
+#include <cstdint>
+#include <vector>
+
+namespace sfly::gf {
+
+class Field {
+ public:
+  /// Construct GF(q); q must be a prime power. Throws otherwise.
+  explicit Field(std::uint64_t q);
+
+  [[nodiscard]] std::uint64_t order() const { return q_; }
+  [[nodiscard]] std::uint64_t characteristic() const { return p_; }
+  [[nodiscard]] unsigned degree() const { return k_; }
+
+  /// Element handles are 0..q-1; 0 is the additive identity and 1 the
+  /// multiplicative identity.
+  using Elt = std::uint32_t;
+
+  [[nodiscard]] Elt add(Elt a, Elt b) const { return add_[a * q_ + b]; }
+  [[nodiscard]] Elt sub(Elt a, Elt b) const { return add(a, neg(b)); }
+  [[nodiscard]] Elt neg(Elt a) const { return neg_[a]; }
+  [[nodiscard]] Elt mul(Elt a, Elt b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[(log_[a] + log_[b]) % (q_ - 1)];
+  }
+  [[nodiscard]] Elt inv(Elt a) const;  // a != 0
+  [[nodiscard]] Elt div(Elt a, Elt b) const { return mul(a, inv(b)); }
+
+  /// A fixed primitive element (generator of the multiplicative group).
+  [[nodiscard]] Elt primitive() const { return xi_; }
+  /// primitive()^e (e may exceed q-1; reduced mod q-1).
+  [[nodiscard]] Elt pow_primitive(std::uint64_t e) const {
+    return exp_[e % (q_ - 1)];
+  }
+  /// Discrete log base primitive() of a nonzero element.
+  [[nodiscard]] unsigned log(Elt a) const { return log_[a]; }
+
+  /// Is a a nonzero square (quadratic residue)?
+  [[nodiscard]] bool is_square(Elt a) const;
+
+ private:
+  std::uint64_t q_, p_;
+  unsigned k_;
+  Elt xi_ = 0;
+  std::vector<Elt> add_;   // q*q addition table
+  std::vector<Elt> neg_;   // additive inverse
+  std::vector<Elt> exp_;   // exp_[i] = xi^i, i in [0, q-1)
+  std::vector<unsigned> log_;  // log_[exp_[i]] = i; log_[0] unused
+};
+
+}  // namespace sfly::gf

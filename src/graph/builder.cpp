@@ -1,0 +1,4 @@
+#include "graph/builder.hpp"
+
+// Header-only; translation unit kept so the build surfaces header errors
+// early and the module has a home for future out-of-line helpers.

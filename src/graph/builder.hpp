@@ -1,0 +1,34 @@
+#pragma once
+// Incremental edge accumulator used by topology generators.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex n) : n_(n) {}
+
+  /// Queue an undirected edge; duplicates and ordering are normalized at
+  /// build time. Self-loops are dropped silently (some Cayley generator
+  /// elements can be involutions mapping a vertex to itself for degenerate
+  /// parameters; generators assert on the final degree instead).
+  void add_edge(Vertex u, Vertex v) {
+    if (u != v) edges_.emplace_back(u, v);
+    else ++dropped_loops_;
+  }
+
+  [[nodiscard]] std::size_t dropped_loops() const { return dropped_loops_; }
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+
+  [[nodiscard]] Graph build() && { return Graph::from_edges(n_, std::move(edges_)); }
+
+ private:
+  Vertex n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::size_t dropped_loops_ = 0;
+};
+
+}  // namespace sfly

@@ -1,0 +1,107 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace sfly {
+namespace {
+
+// Dinic on the residual graph; undirected unit edges are a forward/back
+// arc pair sharing capacity 1 each (standard undirected reduction).
+struct Dinic {
+  struct Arc {
+    Vertex to;
+    std::int32_t cap;
+    std::uint32_t rev;  // index of the reverse arc in adj[to]
+  };
+  std::vector<std::vector<Arc>> adj;
+  std::vector<std::int32_t> level;
+  std::vector<std::uint32_t> iter;
+
+  explicit Dinic(const Graph& g) : adj(g.num_vertices()) {
+    for (auto [u, v] : g.edge_list()) {
+      adj[u].push_back({v, 1, static_cast<std::uint32_t>(adj[v].size())});
+      adj[v].push_back({u, 1, static_cast<std::uint32_t>(adj[u].size() - 1)});
+    }
+  }
+
+  void reset() {
+    // Restore all capacities to 1 (both directions of every edge).
+    for (auto& arcs : adj)
+      for (auto& a : arcs) a.cap = 1;
+  }
+
+  bool bfs(Vertex s, Vertex t) {
+    level.assign(adj.size(), -1);
+    std::vector<Vertex> queue{s};
+    level[s] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      Vertex u = queue[head];
+      for (const Arc& a : adj[u])
+        if (a.cap > 0 && level[a.to] == -1) {
+          level[a.to] = level[u] + 1;
+          queue.push_back(a.to);
+        }
+    }
+    return level[t] != -1;
+  }
+
+  std::int32_t dfs(Vertex u, Vertex t, std::int32_t f) {
+    if (u == t) return f;
+    for (std::uint32_t& i = iter[u]; i < adj[u].size(); ++i) {
+      Arc& a = adj[u][i];
+      if (a.cap > 0 && level[a.to] == level[u] + 1) {
+        std::int32_t d = dfs(a.to, t, std::min(f, a.cap));
+        if (d > 0) {
+          a.cap -= d;
+          adj[a.to][a.rev].cap += d;
+          return d;
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::uint32_t max_flow(Vertex s, Vertex t) {
+    std::uint32_t flow = 0;
+    while (bfs(s, t)) {
+      iter.assign(adj.size(), 0);
+      while (std::int32_t f = dfs(s, t, std::numeric_limits<std::int32_t>::max()))
+        flow += static_cast<std::uint32_t>(f);
+    }
+    return flow;
+  }
+};
+
+std::uint32_t min_degree(const Graph& g) {
+  std::uint32_t md = std::numeric_limits<std::uint32_t>::max();
+  for (Vertex v = 0; v < g.num_vertices(); ++v) md = std::min(md, g.degree(v));
+  return md;
+}
+
+}  // namespace
+
+std::uint32_t max_flow_unit(const Graph& g, Vertex s, Vertex t) {
+  Dinic d(g);
+  return d.max_flow(s, t);
+}
+
+std::uint32_t edge_connectivity(const Graph& g, std::uint32_t sample) {
+  const Vertex n = g.num_vertices();
+  if (n < 2) return 0;
+  Dinic d(g);
+  const std::uint32_t md = min_degree(g);
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  const Vertex step =
+      sample == 0 ? 1 : std::max<Vertex>(1, (n - 1) / std::max<std::uint32_t>(sample, 1));
+  for (Vertex t = 1; t < n; t += step) {
+    d.reset();
+    best = std::min(best, d.max_flow(0, t));
+    if (best == 0) break;  // disconnected: cannot go lower
+  }
+  // Connectivity can never exceed the minimum degree.
+  return std::min(best, md);
+}
+
+}  // namespace sfly

@@ -1,0 +1,25 @@
+#pragma once
+// Edge connectivity via max-flow (Dinic).  The paper credits LPS graphs
+// with optimal edge-connectivity (= radix, the best possible for a
+// k-regular graph) "by virtue of being a Cayley graph"; this module lets
+// the claim be checked rather than assumed.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+/// Maximum flow between s and t with unit capacity per undirected edge
+/// (each edge usable once in either direction) — equals the number of
+/// edge-disjoint s-t paths by Menger's theorem.
+[[nodiscard]] std::uint32_t max_flow_unit(const Graph& g, Vertex s, Vertex t);
+
+/// Global edge connectivity: min over t != 0 of maxflow(0, t).  For a
+/// vertex-transitive graph this equals the true global minimum; for
+/// general graphs it is still exact because some min cut separates vertex
+/// 0 from somewhere.  O(n * maxflow); intended for n up to a few thousand.
+/// `sample` > 0 restricts to that many targets (upper-bound estimate).
+[[nodiscard]] std::uint32_t edge_connectivity(const Graph& g, std::uint32_t sample = 0);
+
+}  // namespace sfly

@@ -1,0 +1,69 @@
+#include "graph/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sfly {
+
+Graph delete_random_edges(const Graph& g, double fraction, std::uint64_t seed) {
+  auto edges = g.edge_list();
+  const std::size_t m = edges.size();
+  const std::size_t to_delete =
+      std::min<std::size_t>(m, static_cast<std::size_t>(std::llround(fraction * m)));
+  Rng rng(seed);
+  // Partial Fisher–Yates: move `to_delete` random edges to the tail.
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    std::size_t j = i + uniform_below(rng, m - i);
+    std::swap(edges[i], edges[j]);
+  }
+  edges.erase(edges.begin(), edges.begin() + to_delete);
+  return Graph::from_edges(g.num_vertices(), std::move(edges));
+}
+
+TrialResult adaptive_mean(const std::function<double(std::uint64_t)>& metric,
+                          std::uint64_t initial_batch, double cov_target,
+                          std::uint64_t max_trials) {
+  TrialResult out;
+  std::uint64_t x = initial_batch;
+  std::uint64_t next_trial = 0;
+  while (true) {
+    std::vector<double> batch_means;
+    batch_means.reserve(10);
+    double grand_total = 0.0;
+    std::uint64_t grand_count = 0;
+    for (int b = 0; b < 10; ++b) {
+      double sum = 0.0;
+      std::uint64_t count = 0;
+      for (std::uint64_t i = 0; i < x; ++i) {
+        double v = metric(next_trial++);
+        if (std::isnan(v)) continue;
+        sum += v;
+        ++count;
+      }
+      if (count) batch_means.push_back(sum / static_cast<double>(count));
+      grand_total += sum;
+      grand_count += count;
+    }
+    out.trials = next_trial;
+    if (grand_count == 0) return out;  // nothing measurable (all disconnected)
+    out.mean = grand_total / static_cast<double>(grand_count);
+
+    double mu = std::accumulate(batch_means.begin(), batch_means.end(), 0.0) /
+                static_cast<double>(batch_means.size());
+    double var = 0.0;
+    for (double v : batch_means) var += (v - mu) * (v - mu);
+    var /= static_cast<double>(batch_means.size());
+    double cov = mu != 0.0 ? std::sqrt(var) / std::abs(mu) : 0.0;
+    if (cov <= cov_target) {
+      out.converged = true;
+      return out;
+    }
+    if (next_trial >= max_trials) return out;
+    x *= 10;
+  }
+}
+
+}  // namespace sfly

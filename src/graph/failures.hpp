@@ -1,0 +1,38 @@
+#pragma once
+// Random link-failure experiments (Section IV-A).
+//
+// The paper deletes a fixed proportion of edges uniformly at random,
+// re-measures diameter / mean distance / bisection bandwidth on the
+// survivors, and averages over enough trials that the coefficient of
+// variation of batch means drops below 10% (their footnote 1).  This
+// module provides the subgraph sampler and the adaptive trial driver.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+/// Delete `round(fraction*m)` edges chosen uniformly at random.
+[[nodiscard]] Graph delete_random_edges(const Graph& g, double fraction,
+                                        std::uint64_t seed);
+
+struct TrialResult {
+  double mean = 0.0;
+  std::uint64_t trials = 0;   // total trials actually run
+  bool converged = false;     // CoV target reached before the cap
+};
+
+/// Paper-style adaptive averaging: run batches of `x` trials (10 batches),
+/// multiply x by 10 until the coefficient of variation of the 10 batch
+/// means is below `cov_target`, or `max_trials` is hit.  `metric` receives
+/// a trial index to derive its RNG stream.  Trials whose metric is NaN
+/// (e.g. graph disconnected) are skipped and do not count.
+[[nodiscard]] TrialResult adaptive_mean(
+    const std::function<double(std::uint64_t trial)>& metric,
+    std::uint64_t initial_batch = 1, double cov_target = 0.10,
+    std::uint64_t max_trials = 10'000);
+
+}  // namespace sfly

@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfly {
+
+Graph Graph::from_edges(Vertex n, std::vector<std::pair<Vertex, Vertex>> edges) {
+  Graph g;
+  g.n_ = n;
+  // Normalize: undirected (u < v), no loops, deduplicated.
+  for (auto& [u, v] : edges) {
+    if (u >= n || v >= n) throw std::out_of_range("Graph: vertex id >= n");
+    if (u == v) throw std::invalid_argument("Graph: self-loop");
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  g.offsets_.assign(n + 1, 0);
+  for (auto [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (Vertex i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adj_.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : edges) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    auto* b = g.adj_.data() + g.offsets_[v];
+    auto* e = g.adj_.data() + g.offsets_[v + 1];
+    std::sort(b, e);
+  }
+  return g;
+}
+
+bool Graph::is_regular(std::uint32_t* k_out) const {
+  if (n_ == 0) return true;
+  std::uint32_t k = degree(0);
+  for (Vertex v = 1; v < n_; ++v)
+    if (degree(v) != k) return false;
+  if (k_out) *k_out = k;
+  return true;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::edge_list() const {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(num_edges());
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+std::string Graph::summary() const {
+  std::uint32_t kmin = ~0u, kmax = 0;
+  for (Vertex v = 0; v < n_; ++v) {
+    kmin = std::min(kmin, degree(v));
+    kmax = std::max(kmax, degree(v));
+  }
+  if (n_ == 0) kmin = 0;
+  return "Graph(n=" + std::to_string(n_) + ", m=" + std::to_string(num_edges()) +
+         ", deg=[" + std::to_string(kmin) + "," + std::to_string(kmax) + "])";
+}
+
+}  // namespace sfly

@@ -1,0 +1,51 @@
+#pragma once
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// Vertices are dense 0..n-1 ids (routers).  Edges are bidirectional links.
+// All topology generators produce this type; all analytics consume it.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfly {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. Self-loops are rejected; duplicate edges are
+  /// collapsed (the generators may emit each undirected edge twice).
+  static Graph from_edges(Vertex n, std::vector<std::pair<Vertex, Vertex>> edges);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return adj_.size() / 2; }
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// True if every vertex has degree k.
+  [[nodiscard]] bool is_regular(std::uint32_t* k_out = nullptr) const;
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Materialize each undirected edge once, with u < v.
+  [[nodiscard]] std::vector<std::pair<Vertex, Vertex>> edge_list() const;
+
+  /// Human-readable one-line summary (n, m, degree range).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::uint32_t> offsets_;  // size n+1
+  std::vector<Vertex> adj_;             // size 2m, sorted per vertex
+};
+
+}  // namespace sfly

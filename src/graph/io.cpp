@@ -1,0 +1,65 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfly {
+
+void write_edge_list(std::ostream& out, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) out << "# " << comment << '\n';
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (auto [u, v] : g.edge_list()) out << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  Vertex n = 0;
+  std::size_t m = 0;
+  bool header = false;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!header) {
+      if (ls >> n >> m) {
+        header = true;
+        edges.reserve(m);
+      } else if (!line.empty() && line.find_first_not_of(" \t") != std::string::npos) {
+        throw std::runtime_error("read_edge_list: malformed header");
+      }
+      continue;
+    }
+    Vertex u, v;
+    if (ls >> u >> v) edges.emplace_back(u, v);
+    else if (line.find_first_not_of(" \t") != std::string::npos)
+      throw std::runtime_error("read_edge_list: malformed edge line: " + line);
+  }
+  if (!header) throw std::runtime_error("read_edge_list: missing header");
+  if (edges.size() != m)
+    throw std::runtime_error("read_edge_list: edge count mismatch");
+  return Graph::from_edges(n, std::move(edges));
+}
+
+void save_edge_list(const std::string& path, const Graph& g,
+                    const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, g, comment);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& out, const Graph& g, const std::string& name) {
+  out << "graph " << name << " {\n";
+  for (auto [u, v] : g.edge_list())
+    out << "  " << u << " -- " << v << ";\n";
+  out << "}\n";
+}
+
+}  // namespace sfly

@@ -1,0 +1,29 @@
+#pragma once
+// Graph serialization: plain edge-list text (one "u v" pair per line,
+// '#' comments, first non-comment line "n m") and Graphviz DOT export for
+// visualization.  Lets generated topologies be fed to external tools
+// (METIS, Booksim, plotting) and re-imported.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+/// Write "n m" then one edge per line.
+void write_edge_list(std::ostream& out, const Graph& g,
+                     const std::string& comment = "");
+
+/// Parse the format written by write_edge_list. Throws on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Convenience file wrappers.
+void save_edge_list(const std::string& path, const Graph& g,
+                    const std::string& comment = "");
+[[nodiscard]] Graph load_edge_list(const std::string& path);
+
+/// Graphviz DOT (undirected).
+void write_dot(std::ostream& out, const Graph& g, const std::string& name = "G");
+
+}  // namespace sfly

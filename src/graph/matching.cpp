@@ -1,0 +1,84 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sfly {
+namespace {
+
+// One pass of augmenting along length-3 alternating paths:
+// unmatched u - v (matched to w) - w - x (unmatched) becomes u-v, w-x.
+bool augment_pass(const Graph& g, std::vector<Vertex>& match) {
+  bool improved = false;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (match[u] != kUnmatched) continue;
+    for (Vertex v : g.neighbors(u)) {
+      Vertex w = match[v];
+      if (w == kUnmatched) {  // direct edge to another free vertex
+        match[u] = v;
+        match[v] = u;
+        improved = true;
+        break;
+      }
+      bool done = false;
+      for (Vertex x : g.neighbors(w)) {
+        if (x != u && x != v && match[x] == kUnmatched) {
+          match[u] = v;
+          match[v] = u;
+          match[w] = x;
+          match[x] = w;
+          improved = done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+std::vector<Vertex> maximal_matching(const Graph& g, std::uint64_t seed, int restarts) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> best(n, kUnmatched);
+  std::size_t best_size = 0;
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng(split_seed(seed, static_cast<std::uint64_t>(r)));
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<Vertex> match(n, kUnmatched);
+    for (Vertex u : order) {
+      if (match[u] != kUnmatched) continue;
+      for (Vertex v : g.neighbors(u)) {
+        if (match[v] == kUnmatched) {
+          match[u] = v;
+          match[v] = u;
+          break;
+        }
+      }
+    }
+    while (augment_pass(g, match)) {
+    }
+    std::size_t sz = matching_size(match);
+    if (sz > best_size) {
+      best_size = sz;
+      best = match;
+      if (2 * best_size == n) break;  // perfect
+    }
+  }
+  return best;
+}
+
+std::size_t matching_size(const std::vector<Vertex>& match) {
+  std::size_t matched = 0;
+  for (Vertex v = 0; v < match.size(); ++v)
+    if (match[v] != kUnmatched) ++matched;
+  return matched / 2;
+}
+
+}  // namespace sfly

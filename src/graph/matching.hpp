@@ -1,0 +1,26 @@
+#pragma once
+// Maximal matchings.  Used by the physical-layout module (Section VII):
+// matched router pairs share a cabinet so their link becomes a cheap 2 m
+// intra-cabinet wire.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+/// match[v] = partner vertex, or kUnmatched.
+inline constexpr Vertex kUnmatched = static_cast<Vertex>(-1);
+
+/// Randomized greedy maximal matching with `restarts` attempts plus a
+/// single augmenting-path improvement sweep; returns the best matching
+/// found (most matched vertices). Deterministic for a fixed seed.
+[[nodiscard]] std::vector<Vertex> maximal_matching(const Graph& g,
+                                                   std::uint64_t seed = 1,
+                                                   int restarts = 8);
+
+/// Number of matched pairs in a matching vector.
+[[nodiscard]] std::size_t matching_size(const std::vector<Vertex>& match);
+
+}  // namespace sfly

@@ -1,0 +1,28 @@
+#include "layout/cabinets.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sfly::layout {
+
+double CabinetGrid::wire_length(std::uint32_t cab1, std::uint32_t cab2) const {
+  if (cab1 == cab2) return kIntraCabinetWire;
+  auto [x1, y1] = coords(cab1);
+  auto [x2, y2] = coords(cab2);
+  return kInterCabinetBase +
+         kXPitch * std::abs(static_cast<int>(x1) - static_cast<int>(x2)) +
+         kYPitch * std::abs(static_cast<int>(y1) - static_cast<int>(y2));
+}
+
+CabinetGrid CabinetGrid::for_routers(std::uint32_t routers,
+                                     std::uint32_t routers_per_cabinet) {
+  CabinetGrid g;
+  g.routers_per_cabinet = routers_per_cabinet;
+  g.cabinets = (routers + routers_per_cabinet - 1) / routers_per_cabinet;
+  g.grid_y = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(2.0 * g.cabinets / 0.6)));
+  g.grid_x = (g.cabinets + g.grid_y - 1) / g.grid_y;
+  return g;
+}
+
+}  // namespace sfly::layout

@@ -1,0 +1,49 @@
+#pragma once
+// Machine-room model of Section VII: an x-by-y grid of cabinets, two
+// routers per cabinet, rectilinear wiring.  Intra-cabinet wires are 2 m;
+// an inter-cabinet wire between cabinets (x1,y1) and (x2,y2) is
+// 4 + 2|x1-x2| + 0.6|y1-y2| metres (2 m of overhead at each end).
+// The room is kept roughly square by fixing y = ceil(sqrt(2c/0.6)) and
+// x = ceil(c/y) for c cabinets (Summit-style 2-routers-per-cabinet).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly::layout {
+
+struct CabinetGrid {
+  std::uint32_t cabinets = 0;           // c
+  std::uint32_t grid_x = 0, grid_y = 0;  // x*y >= c
+  std::uint32_t routers_per_cabinet = 2;
+
+  /// Grid coordinates of a cabinet slot.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> coords(std::uint32_t cab) const {
+    return {cab / grid_y, cab % grid_y};
+  }
+
+  /// Wire length in metres between two cabinet slots (2 m when equal).
+  [[nodiscard]] double wire_length(std::uint32_t cab1, std::uint32_t cab2) const;
+
+  /// The paper's room shape for `routers` routers.
+  static CabinetGrid for_routers(std::uint32_t routers,
+                                 std::uint32_t routers_per_cabinet = 2);
+};
+
+/// A placement assigns each router to a cabinet slot.
+struct Placement {
+  CabinetGrid grid;
+  std::vector<std::uint32_t> cabinet_of;  // per router
+
+  [[nodiscard]] double wire_length(Vertex u, Vertex v) const {
+    return grid.wire_length(cabinet_of[u], cabinet_of[v]);
+  }
+};
+
+inline constexpr double kIntraCabinetWire = 2.0;   // metres
+inline constexpr double kInterCabinetBase = 4.0;   // 2 m overhead each end
+inline constexpr double kXPitch = 2.0;             // metres per cabinet column
+inline constexpr double kYPitch = 0.6;             // metres per cabinet row
+
+}  // namespace sfly::layout

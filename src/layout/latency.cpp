@@ -1,0 +1,60 @@
+#include "layout/latency.hpp"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace sfly::layout {
+
+LatencyStatsPhys physical_latency(const Graph& g, const Placement& placement,
+                                  double switch_latency_ns) {
+  const Vertex n = g.num_vertices();
+  double total = 0.0, maxv = 0.0;
+  std::uint64_t pairs = 0;
+
+#pragma omp parallel reduction(+ : total, pairs)
+  {
+    std::vector<double> dist;
+    using Item = std::pair<double, Vertex>;
+    double local_max = 0.0;
+#pragma omp for schedule(dynamic, 4)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
+      dist.assign(n, std::numeric_limits<double>::infinity());
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      dist[s] = 0.0;
+      pq.emplace(0.0, static_cast<Vertex>(s));
+      while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u]) continue;
+        for (Vertex v : g.neighbors(u)) {
+          double w = placement.wire_length(u, v) * kCableDelayNsPerM +
+                     switch_latency_ns;
+          if (dist[u] + w < dist[v]) {
+            dist[v] = dist[u] + w;
+            pq.emplace(dist[v], v);
+          }
+        }
+      }
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == static_cast<Vertex>(s) ||
+            dist[v] == std::numeric_limits<double>::infinity())
+          continue;
+        total += dist[v];
+        ++pairs;
+        if (dist[v] > local_max) local_max = dist[v];
+      }
+    }
+#pragma omp critical
+    if (local_max > maxv) maxv = local_max;
+  }
+
+  LatencyStatsPhys out;
+  out.mean_ns = pairs ? total / static_cast<double>(pairs) : 0.0;
+  out.max_ns = maxv;
+  return out;
+}
+
+}  // namespace sfly::layout

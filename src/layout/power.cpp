@@ -1,0 +1,15 @@
+#include "layout/power.hpp"
+
+namespace sfly::layout {
+
+PowerStats power_stats(const WiringStats& wiring, std::uint64_t bisection_links) {
+  PowerStats out;
+  out.total_watts = 2.0 * (wiring.electrical * kElectricalPortWatts +
+                           wiring.optical * kOpticalPortWatts);
+  const double bisection_gbps =
+      static_cast<double>(bisection_links) * kLinkBandwidthGbps;
+  out.mw_per_gbps = bisection_gbps > 0 ? out.total_watts * 1000.0 / bisection_gbps : 0.0;
+  return out;
+}
+
+}  // namespace sfly::layout

@@ -1,0 +1,25 @@
+#pragma once
+// Power model of Section VII, updated-hardware variant of Abts et al.:
+// a switch port driving an electrical link draws ~3.76 W, an optical port
+// 25% more (~4.72 W).  Both endpoints of a link burn a port.
+
+#include "layout/wiring.hpp"
+
+namespace sfly::layout {
+
+inline constexpr double kElectricalPortWatts = 3.76;
+inline constexpr double kOpticalPortWatts = 4.72;
+inline constexpr double kLinkBandwidthGbps = 100.0;  // EDR-class links
+
+struct PowerStats {
+  double total_watts = 0.0;
+  /// mW per Gb/s of bisection bandwidth — Table II's efficiency column.
+  double mw_per_gbps = 0.0;
+};
+
+/// `bisection_links` is the METIS-substitute cut (in links) whose
+/// aggregate bandwidth the power is charged against.
+[[nodiscard]] PowerStats power_stats(const WiringStats& wiring,
+                                     std::uint64_t bisection_links);
+
+}  // namespace sfly::layout

@@ -1,0 +1,192 @@
+#include "layout/qap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/matching.hpp"
+#include "util/rng.hpp"
+
+namespace sfly::layout {
+namespace {
+
+// Cabinet-level weighted adjacency built from the router graph after the
+// intra-cabinet matching is pinned.
+struct CabGraph {
+  std::uint32_t c = 0;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;  // (cab, weight)
+};
+
+CabGraph build_cab_graph(const Graph& g, const std::vector<std::uint32_t>& cab_of,
+                         std::uint32_t c) {
+  CabGraph cg;
+  cg.c = c;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> raw(c);
+  for (auto [u, v] : g.edge_list()) {
+    std::uint32_t a = cab_of[u], b = cab_of[v];
+    if (a == b) continue;
+    raw[a].emplace_back(b, 1);
+    raw[b].emplace_back(a, 1);
+  }
+  cg.adj.resize(c);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    auto& r = raw[i];
+    std::sort(r.begin(), r.end());
+    for (std::size_t j = 0; j < r.size();) {
+      std::size_t k = j;
+      std::uint32_t w = 0;
+      while (k < r.size() && r[k].first == r[j].first) w += r[k++].second;
+      cg.adj[i].emplace_back(r[j].first, w);
+      j = k;
+    }
+  }
+  return cg;
+}
+
+double swap_delta(const CabGraph& cg, const CabinetGrid& grid,
+                  const std::vector<std::uint32_t>& slot_of, std::uint32_t a,
+                  std::uint32_t b) {
+  double delta = 0.0;
+  const std::uint32_t sa = slot_of[a], sb = slot_of[b];
+  for (auto [nb, w] : cg.adj[a]) {
+    if (nb == b) continue;  // mutual distance is symmetric under the swap
+    delta += w * (grid.wire_length(sb, slot_of[nb]) - grid.wire_length(sa, slot_of[nb]));
+  }
+  for (auto [nb, w] : cg.adj[b]) {
+    if (nb == a) continue;
+    delta += w * (grid.wire_length(sa, slot_of[nb]) - grid.wire_length(sb, slot_of[nb]));
+  }
+  return delta;
+}
+
+// Expectation step: order cabinets by the centroid of their neighbors'
+// current coordinates and re-deal slots in that order; keeps tightly
+// coupled cabinets physically adjacent.
+void em_round(const CabGraph& cg, const CabinetGrid& grid,
+              std::vector<std::uint32_t>& slot_of) {
+  const std::uint32_t c = cg.c;
+  std::vector<std::pair<double, std::uint32_t>> keyed(c);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    double sx = 0, sy = 0, tw = 0;
+    for (auto [nb, w] : cg.adj[i]) {
+      auto [x, y] = grid.coords(slot_of[nb]);
+      sx += static_cast<double>(w) * x;
+      sy += static_cast<double>(w) * y;
+      tw += w;
+    }
+    auto [ox, oy] = grid.coords(slot_of[i]);
+    double cx = tw ? sx / tw : ox;
+    double cy = tw ? sy / tw : oy;
+    // Key orders by x-major position (matches slot numbering, which is
+    // column-major in y).
+    keyed[i] = {cx * 1e4 + cy, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  // Slots in the same x-major order.
+  std::vector<std::uint32_t> slots(c);
+  std::iota(slots.begin(), slots.end(), 0u);
+  std::sort(slots.begin(), slots.end(), [&](std::uint32_t s1, std::uint32_t s2) {
+    auto [x1, y1] = grid.coords(s1);
+    auto [x2, y2] = grid.coords(s2);
+    return x1 * 1e4 + y1 < x2 * 1e4 + y2;
+  });
+  for (std::uint32_t i = 0; i < c; ++i) slot_of[keyed[i].second] = slots[i];
+}
+
+double total_cost(const CabGraph& cg, const CabinetGrid& grid,
+                  const std::vector<std::uint32_t>& slot_of) {
+  double cost = 0.0;
+  for (std::uint32_t i = 0; i < cg.c; ++i)
+    for (auto [nb, w] : cg.adj[i])
+      if (nb > i) cost += w * grid.wire_length(slot_of[i], slot_of[nb]);
+  return cost;
+}
+
+}  // namespace
+
+LayoutResult measure_layout(const Graph& g, Placement placement) {
+  LayoutResult out;
+  out.placement = std::move(placement);
+  double total = 0.0, maxw = 0.0;
+  std::size_t m = 0;
+  for (auto [u, v] : g.edge_list()) {
+    double w = out.placement.wire_length(u, v);
+    total += w;
+    maxw = std::max(maxw, w);
+    ++m;
+  }
+  out.total_wire_m = total;
+  out.mean_wire_m = m ? total / static_cast<double>(m) : 0.0;
+  out.max_wire_m = maxw;
+  return out;
+}
+
+LayoutResult optimize_layout(const Graph& g, const QapOptions& opts) {
+  const Vertex n = g.num_vertices();
+  CabinetGrid grid = CabinetGrid::for_routers(n);
+
+  // Pin a maximum matching inside cabinets (matched links become 2 m).
+  auto match = maximal_matching(g, opts.seed, opts.matching_restarts);
+  std::vector<std::uint32_t> cab_of(n, ~0u);
+  std::uint32_t next_cab = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (cab_of[v] != ~0u) continue;
+    Vertex partner = match[v];
+    cab_of[v] = next_cab;
+    if (partner != kUnmatched && cab_of[partner] == ~0u) {
+      cab_of[partner] = next_cab;
+      ++next_cab;
+    } else {
+      // Pair leftover unmatched routers two-by-two in id order.
+      Vertex other = n;
+      for (Vertex w = v + 1; w < n; ++w)
+        if (cab_of[w] == ~0u && (match[w] == kUnmatched || cab_of[match[w]] != ~0u)) {
+          other = w;
+          break;
+        }
+      if (other < n) cab_of[other] = next_cab;
+      ++next_cab;
+    }
+  }
+  const std::uint32_t c = next_cab;
+  grid.cabinets = c;  // may be smaller than the conservative estimate
+
+  CabGraph cg = build_cab_graph(g, cab_of, c);
+  std::vector<std::uint32_t> slot_of(c);
+  std::iota(slot_of.begin(), slot_of.end(), 0u);
+  Rng rng(opts.seed);
+  std::shuffle(slot_of.begin(), slot_of.end(), rng);
+
+  double best = total_cost(cg, grid, slot_of);
+  for (int round = 0; round < opts.em_rounds; ++round) {
+    auto trial = slot_of;
+    em_round(cg, grid, trial);
+    double cost = total_cost(cg, grid, trial);
+    if (cost < best) {
+      best = cost;
+      slot_of = std::move(trial);
+    }
+    // Greedy pairwise swaps to a local optimum for this round.
+    for (int pass = 0; pass < opts.swap_passes; ++pass) {
+      bool improved = false;
+      for (std::uint32_t a = 0; a < c; ++a)
+        for (std::uint32_t b = a + 1; b < c; ++b) {
+          double d = swap_delta(cg, grid, slot_of, a, b);
+          if (d < -1e-9) {
+            std::swap(slot_of[a], slot_of[b]);
+            best += d;
+            improved = true;
+          }
+        }
+      if (!improved) break;
+    }
+  }
+
+  Placement placement;
+  placement.grid = grid;
+  placement.cabinet_of.resize(n);
+  for (Vertex v = 0; v < n; ++v) placement.cabinet_of[v] = slot_of[cab_of[v]];
+  return measure_layout(g, std::move(placement));
+}
+
+}  // namespace sfly::layout

@@ -1,0 +1,41 @@
+#pragma once
+// Heuristic wire-length-minimizing placement (Section VII).
+//
+// Placing routers into the cabinet grid to minimize total rectilinear wire
+// length is a Quadratic Assignment Problem.  Following the paper we
+// (a) pin a maximum matching of the topology inside cabinets so those
+//     links use the cheap 2 m intra-cabinet wires, and
+// (b) apply an expectation-minimization style sweep (move each cabinet
+//     toward the weighted centroid of its neighbors' positions) combined
+//     with a greedy pairwise-swap refinement until a local optimum.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "layout/cabinets.hpp"
+
+namespace sfly::layout {
+
+struct QapOptions {
+  int em_rounds = 8;         // centroid sweeps between swap phases
+  int swap_passes = 6;       // full greedy swap passes
+  std::uint64_t seed = 1;
+  int matching_restarts = 8; // for the intra-cabinet pairing
+};
+
+struct LayoutResult {
+  Placement placement;
+  double total_wire_m = 0.0;
+  double mean_wire_m = 0.0;
+  double max_wire_m = 0.0;
+};
+
+/// Place `g`'s routers into a paper-shaped cabinet grid and minimize wire
+/// length.  Deterministic for a fixed seed.
+[[nodiscard]] LayoutResult optimize_layout(const Graph& g, const QapOptions& opts = {});
+
+/// Wire statistics for an existing placement (used for SkyWalk instances,
+/// whose generator already fixes the placement).
+[[nodiscard]] LayoutResult measure_layout(const Graph& g, Placement placement);
+
+}  // namespace sfly::layout

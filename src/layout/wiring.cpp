@@ -1,0 +1,24 @@
+#include "layout/wiring.hpp"
+
+#include <algorithm>
+
+namespace sfly::layout {
+
+WiringStats wiring_stats(const Graph& g, const Placement& placement,
+                         double electrical_max) {
+  WiringStats out;
+  for (auto [u, v] : g.edge_list()) {
+    double w = placement.wire_length(u, v);
+    ++out.links;
+    if (w <= electrical_max)
+      ++out.electrical;
+    else
+      ++out.optical;
+    out.total_wire_m += w;
+    out.max_wire_m = std::max(out.max_wire_m, w);
+  }
+  out.mean_wire_m = out.links ? out.total_wire_m / static_cast<double>(out.links) : 0.0;
+  return out;
+}
+
+}  // namespace sfly::layout

@@ -1,0 +1,29 @@
+#pragma once
+// Wire classification and per-topology wiring statistics for Table II.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "layout/cabinets.hpp"
+
+namespace sfly::layout {
+
+/// Links at or below this length can be driven electrically; longer links
+/// need (more power-hungry) optics.  The paper's Table II is derived from
+/// Mellanox SB7800 EDR practice; 6 m covers intra-cabinet and same-column
+/// neighbor cabinets.
+inline constexpr double kElectricalMaxMetres = 6.0;
+
+struct WiringStats {
+  std::size_t links = 0;
+  std::size_t electrical = 0;
+  std::size_t optical = 0;
+  double total_wire_m = 0.0;
+  double mean_wire_m = 0.0;
+  double max_wire_m = 0.0;
+};
+
+[[nodiscard]] WiringStats wiring_stats(const Graph& g, const Placement& placement,
+                                       double electrical_max = kElectricalMaxMetres);
+
+}  // namespace sfly::layout

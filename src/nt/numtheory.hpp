@@ -1,0 +1,57 @@
+#pragma once
+// Elementary number theory used by the LPS / Paley / MMS constructions:
+// primality, modular arithmetic, Legendre symbols, square roots mod p
+// (Tonelli–Shanks), solutions of x^2 + y^2 + 1 = 0 (mod q), and the
+// Jacobi four-square enumeration that yields the LPS generator set.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sfly::nt {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Deterministic Miller–Rabin, valid for all 64-bit inputs.
+[[nodiscard]] bool is_prime(u64 n);
+
+/// All primes in [lo, hi] (inclusive), simple sieve.
+[[nodiscard]] std::vector<u64> primes_in(u64 lo, u64 hi);
+
+/// (a*b) mod m without overflow for m < 2^63.
+[[nodiscard]] u64 mulmod(u64 a, u64 b, u64 m);
+
+/// a^e mod m.
+[[nodiscard]] u64 powmod(u64 a, u64 e, u64 m);
+
+/// Multiplicative inverse of a mod m (m prime or gcd(a,m)=1). a != 0 mod m.
+[[nodiscard]] u64 invmod(u64 a, u64 m);
+
+/// Legendre symbol (a|p) for odd prime p: +1, -1, or 0.
+[[nodiscard]] int legendre(i64 a, u64 p);
+
+/// Square root of a mod odd prime p if it exists (Tonelli–Shanks).
+[[nodiscard]] std::optional<u64> sqrt_mod(u64 a, u64 p);
+
+/// A solution (x, y) to x^2 + y^2 + 1 = 0 (mod q), q an odd prime.
+/// Always exists; returned deterministically (smallest x with a solution).
+[[nodiscard]] std::pair<u64, u64> solve_x2_y2_plus1(u64 q);
+
+/// One LPS generator in integer form: (a0, a1, a2, a3) with
+/// a0^2 + a1^2 + a2^2 + a3^2 = p.
+struct FourSquare {
+  i64 a0, a1, a2, a3;
+};
+
+/// The p+1 normalized four-square representations of the odd prime p used
+/// by the LPS construction (Definition 3 of the paper):
+///  - p = 1 (mod 4): a0 > 0 and odd;
+///  - p = 3 (mod 4): a0 > 0 and even, or a0 = 0 and a1 > 0.
+/// Postcondition: result.size() == p + 1 (Jacobi's theorem).
+[[nodiscard]] std::vector<FourSquare> lps_four_squares(u64 p);
+
+/// Is `n` a prime power p^k (k >= 1)? Returns (p, k) if so.
+[[nodiscard]] std::optional<std::pair<u64, unsigned>> prime_power(u64 n);
+
+}  // namespace sfly::nt

@@ -1,0 +1,352 @@
+#include "partition/bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sfly {
+namespace {
+
+// Weighted graph used internally during coarsening.
+struct WGraph {
+  std::vector<std::uint32_t> offsets;
+  std::vector<Vertex> adj;
+  std::vector<std::uint32_t> ewgt;   // parallel to adj
+  std::vector<std::uint32_t> vwgt;   // per vertex
+  [[nodiscard]] Vertex n() const { return static_cast<Vertex>(vwgt.size()); }
+  [[nodiscard]] std::uint64_t total_vwgt() const {
+    return std::accumulate(vwgt.begin(), vwgt.end(), std::uint64_t{0});
+  }
+};
+
+WGraph to_wgraph(const Graph& g) {
+  WGraph w;
+  const Vertex n = g.num_vertices();
+  w.vwgt.assign(n, 1);
+  w.offsets.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) w.offsets[v + 1] = w.offsets[v] + g.degree(v);
+  w.adj.resize(w.offsets.back());
+  w.ewgt.assign(w.offsets.back(), 1);
+  for (Vertex v = 0; v < n; ++v) {
+    auto nb = g.neighbors(v);
+    std::copy(nb.begin(), nb.end(), w.adj.begin() + w.offsets[v]);
+  }
+  return w;
+}
+
+// Heavy-edge matching; returns coarse graph and fine->coarse map.
+struct CoarseLevel {
+  WGraph graph;
+  std::vector<Vertex> map;  // fine vertex -> coarse vertex
+};
+
+CoarseLevel coarsen(const WGraph& g, Rng& rng) {
+  const Vertex n = g.n();
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<Vertex> match(n, static_cast<Vertex>(-1));
+  for (Vertex u : order) {
+    if (match[u] != static_cast<Vertex>(-1)) continue;
+    Vertex best = u;  // allow staying single
+    std::uint32_t best_w = 0;
+    for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      Vertex v = g.adj[e];
+      if (v == u || match[v] != static_cast<Vertex>(-1)) continue;
+      if (g.ewgt[e] > best_w) {
+        best_w = g.ewgt[e];
+        best = v;
+      }
+    }
+    match[u] = best;
+    match[best] = u;
+  }
+
+  CoarseLevel out;
+  out.map.assign(n, 0);
+  Vertex nc = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (match[v] >= v) out.map[v] = nc++;  // v is representative (match[v]==v or >v)
+  }
+  for (Vertex v = 0; v < n; ++v)
+    if (match[v] < v) out.map[v] = out.map[match[v]];
+
+  // Aggregate edges into the coarse graph via hashing per coarse vertex.
+  std::vector<std::vector<std::pair<Vertex, std::uint32_t>>> buckets(nc);
+  out.graph.vwgt.assign(nc, 0);
+  for (Vertex v = 0; v < n; ++v) out.graph.vwgt[out.map[v]] += g.vwgt[v];
+  for (Vertex u = 0; u < n; ++u) {
+    Vertex cu = out.map[u];
+    for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      Vertex cv = out.map[g.adj[e]];
+      if (cu == cv) continue;
+      buckets[cu].emplace_back(cv, g.ewgt[e]);
+    }
+  }
+  out.graph.offsets.assign(nc + 1, 0);
+  for (Vertex c = 0; c < nc; ++c) {
+    auto& b = buckets[c];
+    std::sort(b.begin(), b.end());
+    // Merge parallel edges.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < b.size();) {
+      std::size_t j = i;
+      std::uint32_t sum = 0;
+      while (j < b.size() && b[j].first == b[i].first) sum += b[j++].second;
+      b[w++] = {b[i].first, sum};
+      i = j;
+    }
+    b.resize(w);
+    out.graph.offsets[c + 1] = out.graph.offsets[c] + static_cast<std::uint32_t>(w);
+  }
+  out.graph.adj.resize(out.graph.offsets.back());
+  out.graph.ewgt.resize(out.graph.offsets.back());
+  for (Vertex c = 0; c < nc; ++c) {
+    std::uint32_t at = out.graph.offsets[c];
+    for (auto [v, wt] : buckets[c]) {
+      out.graph.adj[at] = v;
+      out.graph.ewgt[at] = wt;
+      ++at;
+    }
+  }
+  return out;
+}
+
+std::uint64_t cut_of(const WGraph& g, const std::vector<std::uint8_t>& side) {
+  std::uint64_t cut = 0;
+  for (Vertex u = 0; u < g.n(); ++u)
+    for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e)
+      if (side[u] != side[g.adj[e]]) cut += g.ewgt[e];
+  return cut / 2;
+}
+
+// Greedy BFS region growing to half the total vertex weight.
+std::vector<std::uint8_t> grow_partition(const WGraph& g, Rng& rng) {
+  const Vertex n = g.n();
+  const std::uint64_t half = g.total_vwgt() / 2;
+  std::vector<std::uint8_t> side(n, 1);
+  std::vector<Vertex> queue;
+  std::vector<std::uint8_t> seen(n, 0);
+  Vertex start = static_cast<Vertex>(uniform_below(rng, n));
+  queue.push_back(start);
+  seen[start] = 1;
+  std::uint64_t grown = 0;
+  for (std::size_t head = 0; head < queue.size() && grown < half; ++head) {
+    Vertex u = queue[head];
+    if (grown + g.vwgt[u] > half + g.vwgt[u] / 2 && grown > 0) continue;
+    side[u] = 0;
+    grown += g.vwgt[u];
+    for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      Vertex v = g.adj[e];
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  // If BFS exhausted a small component, assign remaining randomly.
+  for (Vertex v = 0; v < n && grown < half; ++v) {
+    if (side[v] == 1) {
+      side[v] = 0;
+      grown += g.vwgt[v];
+    }
+  }
+  return side;
+}
+
+// One FM pass: tentatively move every vertex once (best-gain first subject
+// to balance), then roll back to the best prefix. Returns true if the cut
+// or balance improved.
+bool fm_pass(const WGraph& g, std::vector<std::uint8_t>& side,
+             std::uint64_t max_side_wgt) {
+  const Vertex n = g.n();
+  std::vector<std::int64_t> gain(n, 0);
+  std::uint64_t wgt[2] = {0, 0};
+  for (Vertex v = 0; v < n; ++v) wgt[side[v]] += g.vwgt[v];
+  for (Vertex u = 0; u < n; ++u) {
+    std::int64_t gn = 0;
+    for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e)
+      gn += (side[g.adj[e]] != side[u]) ? g.ewgt[e] : -static_cast<std::int64_t>(g.ewgt[e]);
+    gain[u] = gn;
+  }
+
+  std::vector<std::uint8_t> locked(n, 0);
+  std::vector<Vertex> moves;
+  moves.reserve(n);
+  std::int64_t cum = 0, best_cum = 0;
+  std::size_t best_prefix = 0;
+
+  // Lazy max-heap of (gain, vertex); stale entries are skipped on pop.
+  std::vector<std::pair<std::int64_t, Vertex>> heap;
+  heap.reserve(2 * n);
+  for (Vertex v = 0; v < n; ++v) heap.emplace_back(gain[v], v);
+  std::make_heap(heap.begin(), heap.end());
+  std::vector<std::pair<std::int64_t, Vertex>> deferred;  // balance-blocked
+
+  for (Vertex step = 0; step < n; ++step) {
+    Vertex pick = static_cast<Vertex>(-1);
+    std::int64_t pick_gain = 0;
+    deferred.clear();
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end());
+      auto [gn, v] = heap.back();
+      heap.pop_back();
+      if (locked[v] || gn != gain[v]) continue;  // stale
+      if (wgt[1 - side[v]] + g.vwgt[v] > max_side_wgt) {
+        deferred.emplace_back(gn, v);  // balance-blocked now, maybe not later
+        continue;
+      }
+      pick = v;
+      pick_gain = gn;
+      break;
+    }
+    for (auto& d : deferred) {
+      heap.push_back(d);
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (pick == static_cast<Vertex>(-1)) break;
+    // Move it.
+    std::uint8_t from = side[pick];
+    wgt[from] -= g.vwgt[pick];
+    wgt[1 - from] += g.vwgt[pick];
+    side[pick] = static_cast<std::uint8_t>(1 - from);
+    locked[pick] = 1;
+    cum += pick_gain;
+    moves.push_back(pick);
+    if (cum > best_cum) {
+      best_cum = cum;
+      best_prefix = moves.size();
+    }
+    // Update neighbor gains.
+    gain[pick] = -gain[pick];
+    for (std::uint32_t e = g.offsets[pick]; e < g.offsets[pick + 1]; ++e) {
+      Vertex v = g.adj[e];
+      // v's gain changes by ±2w depending on whether pick now matches v.
+      if (side[v] == side[pick])
+        gain[v] -= 2 * static_cast<std::int64_t>(g.ewgt[e]);
+      else
+        gain[v] += 2 * static_cast<std::int64_t>(g.ewgt[e]);
+      if (!locked[v]) {
+        heap.emplace_back(gain[v], v);
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+
+  // Roll back moves past the best prefix.
+  for (std::size_t i = moves.size(); i-- > best_prefix;)
+    side[moves[i]] = static_cast<std::uint8_t>(1 - side[moves[i]]);
+  return best_cum > 0;
+}
+
+void refine(const WGraph& g, std::vector<std::uint8_t>& side, int max_passes) {
+  const std::uint64_t total = g.total_vwgt();
+  std::uint32_t max_v = *std::max_element(g.vwgt.begin(), g.vwgt.end());
+  const std::uint64_t max_side = (total + 1) / 2 + max_v;
+  for (int p = 0; p < max_passes; ++p)
+    if (!fm_pass(g, side, max_side)) break;
+}
+
+// Final strict rebalance on the original (unit-weight) graph: move minimum
+// cut-damage vertices until sides differ by at most one vertex.
+void strict_balance(const WGraph& g, std::vector<std::uint8_t>& side) {
+  const Vertex n = g.n();
+  std::int64_t diff = 0;
+  for (Vertex v = 0; v < n; ++v) diff += side[v] ? -1 : 1;
+  while (std::abs(diff) > 1) {
+    std::uint8_t from = diff > 0 ? 0 : 1;
+    Vertex pick = static_cast<Vertex>(-1);
+    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+    for (Vertex v = 0; v < n; ++v) {
+      if (side[v] != from) continue;
+      std::int64_t gn = 0;
+      for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e)
+        gn += (side[g.adj[e]] != from) ? g.ewgt[e] : -static_cast<std::int64_t>(g.ewgt[e]);
+      if (gn > best_gain) {
+        best_gain = gn;
+        pick = v;
+      }
+    }
+    side[pick] = static_cast<std::uint8_t>(1 - from);
+    diff += from == 0 ? -2 : 2;
+  }
+}
+
+std::vector<std::uint8_t> multilevel_run(const WGraph& g0, const BisectionOptions& opts,
+                                         Rng& rng) {
+  // Coarsen.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<Vertex>> maps;
+  levels.push_back(g0);
+  while (levels.back().n() > opts.coarsen_to) {
+    CoarseLevel cl = coarsen(levels.back(), rng);
+    if (cl.graph.n() >= levels.back().n() * 95 / 100) break;  // stalled
+    maps.push_back(std::move(cl.map));
+    levels.push_back(std::move(cl.graph));
+  }
+
+  // Initial partition on the coarsest level: several grows, keep best.
+  const WGraph& coarsest = levels.back();
+  std::vector<std::uint8_t> side;
+  std::uint64_t best_cut = std::numeric_limits<std::uint64_t>::max();
+  for (int t = 0; t < 4; ++t) {
+    auto cand = grow_partition(coarsest, rng);
+    refine(coarsest, cand, opts.fm_passes);
+    std::uint64_t c = cut_of(coarsest, cand);
+    if (c < best_cut) {
+      best_cut = c;
+      side = std::move(cand);
+    }
+  }
+
+  // Uncoarsen + refine.
+  for (std::size_t lvl = levels.size() - 1; lvl-- > 0;) {
+    std::vector<std::uint8_t> fine(levels[lvl].n());
+    for (Vertex v = 0; v < levels[lvl].n(); ++v) fine[v] = side[maps[lvl][v]];
+    side = std::move(fine);
+    refine(levels[lvl], side, opts.fm_passes);
+  }
+  strict_balance(levels[0], side);
+  refine(levels[0], side, 2);      // FM with slack may re-skew slightly...
+  strict_balance(levels[0], side);  // ...so force exact balance last.
+  return side;
+}
+
+}  // namespace
+
+BisectionResult bisect(const Graph& g, const BisectionOptions& opts) {
+  WGraph w = to_wgraph(g);
+  BisectionResult best;
+  best.cut_edges = std::numeric_limits<std::uint64_t>::max();
+  for (int r = 0; r < opts.restarts; ++r) {
+    Rng rng(split_seed(opts.seed, static_cast<std::uint64_t>(r)));
+    auto side = multilevel_run(w, opts, rng);
+    std::uint64_t cut = cut_of(w, side);
+    if (cut < best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = std::move(side);
+    }
+  }
+  best.part_sizes[0] = best.part_sizes[1] = 0;
+  for (std::uint8_t s : best.side) ++best.part_sizes[s];
+  return best;
+}
+
+std::uint64_t bisection_bandwidth(const Graph& g, const BisectionOptions& opts) {
+  return bisect(g, opts).cut_edges;
+}
+
+double normalized_bisection_bandwidth(const Graph& g, const BisectionOptions& opts) {
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k) || k == 0) {
+    // Fall back to average degree for non-regular graphs.
+    k = static_cast<std::uint32_t>(2 * g.num_edges() / std::max<Vertex>(g.num_vertices(), 1));
+  }
+  double denom = static_cast<double>(g.num_vertices()) * k / 2.0;
+  return static_cast<double>(bisection_bandwidth(g, opts)) / denom;
+}
+
+}  // namespace sfly

@@ -1,0 +1,70 @@
+#include "routing/diversity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace sfly::routing {
+
+std::vector<double> shortest_path_counts(const Graph& g, Vertex src) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::int32_t> dist(n, -1);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  dist[src] = 0;
+  sigma[src] = 1.0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    Vertex u = queue[head];
+    for (Vertex v : g.neighbors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  return sigma;
+}
+
+DiversitySummary path_diversity(const Graph& g, const Tables& tables,
+                                std::uint32_t sources, std::uint64_t seed) {
+  const Vertex n = g.num_vertices();
+  DiversitySummary out;
+  if (n < 2) return out;
+  std::vector<Vertex> srcs;
+  if (sources == 0 || sources >= n) {
+    srcs.resize(n);
+    std::iota(srcs.begin(), srcs.end(), 0u);
+  } else {
+    Rng rng(seed);
+    for (std::uint32_t i = 0; i < sources; ++i)
+      srcs.push_back(static_cast<Vertex>(uniform_below(rng, n)));
+  }
+
+  double log_sum = 0.0;
+  std::uint64_t pairs = 0, single = 0;
+  double fanout_sum = 0.0;
+  std::vector<Vertex> hops;
+  for (Vertex s : srcs) {
+    auto sigma = shortest_path_counts(g, s);
+    for (Vertex v = 0; v < n; ++v) {
+      if (v == s || sigma[v] == 0.0) continue;
+      log_sum += std::log(sigma[v]);
+      if (sigma[v] < 1.5) ++single;
+      ++pairs;
+      tables.minimal_next_hops(g, s, v, hops);
+      fanout_sum += static_cast<double>(hops.size());
+    }
+  }
+  if (pairs == 0) return out;
+  out.mean_paths = std::exp(log_sum / static_cast<double>(pairs));
+  out.single_path_frac = static_cast<double>(single) / static_cast<double>(pairs);
+  out.mean_next_hops = fanout_sum / static_cast<double>(pairs);
+  return out;
+}
+
+}  // namespace sfly::routing

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal-path diversity analytics.
+//
+// The paper attributes SpectralFly's congestion robustness to the "path
+// diversity available" under minimal routing (Section VI-C).  This module
+// counts shortest paths per pair (DP over the BFS DAG) and summarizes the
+// distribution so diversity can be compared across topologies.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/tables.hpp"
+
+namespace sfly::routing {
+
+/// Number of distinct shortest paths from src to every vertex (as double;
+/// counts can be astronomically large on expanders).
+[[nodiscard]] std::vector<double> shortest_path_counts(const Graph& g, Vertex src);
+
+struct DiversitySummary {
+  double mean_paths = 0.0;     // geometric mean of per-pair path counts
+  double single_path_frac = 0.0;  // fraction of pairs with exactly one path
+  double mean_next_hops = 0.0;    // avg minimal next-hop fan-out at the source
+};
+
+/// Sampled diversity summary over `sources` BFS trees (0 = all vertices).
+[[nodiscard]] DiversitySummary path_diversity(const Graph& g, const Tables& tables,
+                                              std::uint32_t sources = 0,
+                                              std::uint64_t seed = 1);
+
+}  // namespace sfly::routing

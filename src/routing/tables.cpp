@@ -1,0 +1,85 @@
+#include "routing/tables.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace sfly::routing {
+
+Tables Tables::build(const Graph& g) {
+  Tables t;
+  const Vertex n = g.num_vertices();
+  t.n_ = n;
+  t.dist_.assign(static_cast<std::size_t>(n) * n, 0xFF);
+
+  std::uint8_t diameter = 0;
+  bool overflow = false, disconnected = false;
+#pragma omp parallel
+  {
+    std::vector<Vertex> queue;
+    queue.reserve(n);
+    std::uint8_t local_diam = 0;
+    bool local_over = false, local_disc = false;
+#pragma omp for schedule(dynamic, 8)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
+      std::uint8_t* dist = t.dist_.data() + static_cast<std::size_t>(s) * n;
+      queue.clear();
+      queue.push_back(static_cast<Vertex>(s));
+      dist[s] = 0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        Vertex u = queue[head];
+        std::uint8_t du = dist[u];
+        if (du >= 0xFE) {
+          local_over = true;
+          break;
+        }
+        for (Vertex v : g.neighbors(u)) {
+          if (dist[v] == 0xFF) {
+            dist[v] = static_cast<std::uint8_t>(du + 1);
+            if (dist[v] > local_diam) local_diam = dist[v];
+            queue.push_back(v);
+          }
+        }
+      }
+      if (queue.size() != n) local_disc = true;
+    }
+#pragma omp critical
+    {
+      if (local_diam > diameter) diameter = local_diam;
+      overflow = overflow || local_over;
+      disconnected = disconnected || local_disc;
+    }
+  }
+  if (overflow) throw std::runtime_error("routing::Tables: distance overflow");
+  if (disconnected) throw std::runtime_error("routing::Tables: graph disconnected");
+  t.diameter_ = diameter;
+  return t;
+}
+
+void Tables::minimal_next_hops(const Graph& g, Vertex u, Vertex v,
+                               std::vector<Vertex>& out) const {
+  out.clear();
+  const std::uint8_t du = distance(u, v);
+  for (Vertex w : g.neighbors(u))
+    if (distance(w, v) + 1 == du) out.push_back(w);
+}
+
+Vertex Tables::sample_next_hop(const Graph& g, Vertex u, Vertex v,
+                               std::uint64_t entropy) const {
+  const std::uint8_t du = distance(u, v);
+  // Two passes: count minimal hops, then pick the (entropy % count)-th.
+  std::uint32_t count = 0;
+  for (Vertex w : g.neighbors(u))
+    if (distance(w, v) + 1 == du) ++count;
+  if (count == 0) throw std::logic_error("sample_next_hop: u == v or no path");
+  std::uint32_t pick = static_cast<std::uint32_t>(entropy % count);
+  for (Vertex w : g.neighbors(u)) {
+    if (distance(w, v) + 1 == du) {
+      if (pick == 0) return w;
+      --pick;
+    }
+  }
+  throw std::logic_error("sample_next_hop: unreachable");
+}
+
+}  // namespace sfly::routing

@@ -1,0 +1,3 @@
+#include "sim/event_queue.hpp"
+
+// Header-only; TU anchors the header in the build.

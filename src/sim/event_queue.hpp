@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic discrete-event queue: (time, insertion sequence) ordered
+// min-heap, so simultaneous events fire in insertion order regardless of
+// heap internals.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace sfly::sim {
+
+enum class EventKind : std::uint8_t {
+  kInjectMessage,  // a = message id
+  kArrival,        // a = packet id, b = router id
+  kTryTransmit,    // a = port id
+  kCreditReturn,   // a = port id, b = (vc << 32) | bytes
+  kDeliver,        // a = packet id
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kInjectMessage;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, std::uint64_t a, std::uint64_t b = 0) {
+    heap_.push(Event{time, seq_++, kind, a, b});
+  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sfly::sim

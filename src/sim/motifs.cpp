@@ -1,0 +1,200 @@
+#include "sim/motifs.hpp"
+
+#include <stdexcept>
+
+#include "sim/traffic.hpp"
+
+namespace sfly::sim {
+
+MotifContext::MotifContext(Simulator& sim, std::vector<EndpointId> placement,
+                           double compute_ns)
+    : sim_(sim), placement_(std::move(placement)), compute_ns_(compute_ns) {
+  rank_of_.assign(sim_.num_endpoints(), ~0u);
+  for (std::uint32_t r = 0; r < placement_.size(); ++r)
+    rank_of_[placement_[r]] = r;
+}
+
+void MotifContext::send(std::uint32_t src_rank, std::uint32_t dst_rank,
+                        std::uint32_t bytes, std::uint64_t tag) {
+  sim_.send(placement_[src_rank], placement_[dst_rank], bytes,
+            sim_.now() + compute_ns_, tag);
+}
+
+struct MotifDriver {
+  static MotifResult run(Simulator& sim, Motif& motif, std::uint64_t seed,
+                         double compute_ns) {
+    auto placement = place_ranks(motif.num_ranks(), sim.num_endpoints(), seed);
+    MotifContext ctx(sim, std::move(placement), compute_ns);
+    sim.set_delivery_callback([&](const MessageRecord& rec) {
+      motif.on_message(ctx, ctx.rank_of_[rec.dst], ctx.rank_of_[rec.src], rec.tag);
+    });
+    motif.start(ctx);
+    if (!sim.run()) throw std::runtime_error("run_motif: simulation did not drain");
+    if (!motif.complete())
+      throw std::runtime_error("run_motif: motif stalled (dependency bug?)");
+    MotifResult out;
+    out.completion_ns = sim.completion_time();
+    out.messages = sim.message_latency().count();
+    out.mean_latency_ns = sim.message_latency().mean();
+    return out;
+  }
+};
+
+MotifResult run_motif(Simulator& sim, Motif& motif, std::uint64_t placement_seed,
+                      double compute_ns) {
+  return MotifDriver::run(sim, motif, placement_seed, compute_ns);
+}
+
+// ---------------------------------------------------------------- Halo3D-26
+
+Halo3D26::Halo3D26(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+                   std::uint32_t iterations, std::uint32_t face_bytes,
+                   std::uint32_t edge_bytes, std::uint32_t corner_bytes)
+    : nx_(nx), ny_(ny), nz_(nz), iters_(iterations), face_bytes_(face_bytes),
+      edge_bytes_(edge_bytes), corner_bytes_(corner_bytes) {
+  if (nx_ < 3 || ny_ < 3 || nz_ < 3)
+    throw std::invalid_argument("Halo3D26: need at least 3 ranks per dimension "
+                                "(periodic neighbors must be distinct)");
+  received_.assign(num_ranks(), std::vector<std::uint16_t>(iters_, 0));
+  rank_iter_.assign(num_ranks(), 0);
+}
+
+std::uint32_t Halo3D26::neighbor(std::uint32_t rank, int dx, int dy, int dz) const {
+  std::uint32_t x = rank % nx_;
+  std::uint32_t y = (rank / nx_) % ny_;
+  std::uint32_t z = rank / (nx_ * ny_);
+  x = (x + nx_ + dx) % nx_;
+  y = (y + ny_ + dy) % ny_;
+  z = (z + nz_ + dz) % nz_;
+  return (z * ny_ + y) * nx_ + x;
+}
+
+void Halo3D26::exchange(MotifContext& ctx, std::uint32_t rank, std::uint32_t iter) {
+  for (int dx = -1; dx <= 1; ++dx)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        int dims = std::abs(dx) + std::abs(dy) + std::abs(dz);
+        std::uint32_t bytes = dims == 1   ? face_bytes_
+                              : dims == 2 ? edge_bytes_
+                                          : corner_bytes_;
+        ctx.send(rank, neighbor(rank, dx, dy, dz), bytes, iter);
+      }
+}
+
+void Halo3D26::start(MotifContext& ctx) {
+  for (std::uint32_t r = 0; r < num_ranks(); ++r) exchange(ctx, r, 0);
+}
+
+void Halo3D26::on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t /*src*/,
+                          std::uint64_t tag) {
+  const std::uint32_t iter = static_cast<std::uint32_t>(tag);
+  if (++received_[dst][iter] < 26) return;
+  if (rank_iter_[dst] != iter) return;  // will be picked up when we reach it
+  // Completed the halo for the current iteration; advance (possibly through
+  // already-buffered future iterations).
+  while (rank_iter_[dst] < iters_ && received_[dst][rank_iter_[dst]] >= 26) {
+    ++rank_iter_[dst];
+    if (rank_iter_[dst] < iters_)
+      exchange(ctx, dst, rank_iter_[dst]);
+    else
+      ++done_;
+  }
+}
+
+// ------------------------------------------------------------------ Sweep3D
+
+Sweep3D::Sweep3D(std::uint32_t px, std::uint32_t py, std::uint32_t sweeps,
+                 std::uint32_t message_bytes)
+    : px_(px), py_(py), sweeps_(sweeps), bytes_(message_bytes) {
+  if (px_ < 2 || py_ < 2) throw std::invalid_argument("Sweep3D: need a 2D array");
+  received_.assign(num_ranks(), std::vector<std::uint16_t>(sweeps_, 0));
+  rank_sweep_.assign(num_ranks(), 0);
+}
+
+namespace {
+// Sweep directions cycle through the four corners of the 2D array.
+constexpr int kSweepDir[4][2] = {{+1, +1}, {-1, +1}, {+1, -1}, {-1, -1}};
+}  // namespace
+
+std::uint32_t Sweep3D::deps_needed(std::uint32_t rank, std::uint32_t sweep) const {
+  const int dx = kSweepDir[sweep % 4][0], dy = kSweepDir[sweep % 4][1];
+  const std::uint32_t x = rank % px_, y = rank / px_;
+  std::uint32_t deps = 0;
+  if (dx > 0 ? x > 0 : x + 1 < px_) ++deps;  // upstream in x exists
+  if (dy > 0 ? y > 0 : y + 1 < py_) ++deps;  // upstream in y exists
+  return deps;
+}
+
+void Sweep3D::try_fire(MotifContext& ctx, std::uint32_t rank) {
+  while (rank_sweep_[rank] < sweeps_) {
+    const std::uint32_t s = rank_sweep_[rank];
+    if (received_[rank][s] < deps_needed(rank, s)) return;
+    // "Compute" then forward downstream.
+    const int dx = kSweepDir[s % 4][0], dy = kSweepDir[s % 4][1];
+    const std::uint32_t x = rank % px_, y = rank / px_;
+    if (dx > 0 ? x + 1 < px_ : x > 0)
+      ctx.send(rank, rank + (dx > 0 ? 1 : -1), bytes_, s);
+    if (dy > 0 ? y + 1 < py_ : y > 0)
+      ctx.send(rank, rank + (dy > 0 ? static_cast<int>(px_) : -static_cast<int>(px_)),
+               bytes_, s);
+    ++rank_sweep_[rank];
+    if (rank_sweep_[rank] == sweeps_) ++done_;
+  }
+}
+
+void Sweep3D::start(MotifContext& ctx) {
+  for (std::uint32_t r = 0; r < num_ranks(); ++r) try_fire(ctx, r);
+}
+
+void Sweep3D::on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t /*src*/,
+                         std::uint64_t tag) {
+  ++received_[dst][tag];
+  try_fire(ctx, dst);
+}
+
+// -------------------------------------------------------------- FFT a2a
+
+FftAllToAll::FftAllToAll(std::uint32_t px, std::uint32_t py,
+                         std::uint32_t bytes_per_pair)
+    : px_(px), py_(py), bytes_(bytes_per_pair) {
+  if (px_ < 2 || py_ < 2) throw std::invalid_argument("FftAllToAll: need a 2D grid");
+  received_[0].assign(num_ranks(), 0);
+  received_[1].assign(num_ranks(), 0);
+  phase_.assign(num_ranks(), 0);
+}
+
+void FftAllToAll::alltoall(MotifContext& ctx, std::uint32_t rank, std::uint32_t phase) {
+  const std::uint32_t x = rank % px_, y = rank / px_;
+  if (phase == 0) {
+    for (std::uint32_t xx = 0; xx < px_; ++xx)
+      if (xx != x) ctx.send(rank, y * px_ + xx, bytes_, 0);
+  } else {
+    for (std::uint32_t yy = 0; yy < py_; ++yy)
+      if (yy != y) ctx.send(rank, yy * px_ + x, bytes_, 1);
+  }
+}
+
+void FftAllToAll::start(MotifContext& ctx) {
+  for (std::uint32_t r = 0; r < num_ranks(); ++r) alltoall(ctx, r, 0);
+}
+
+void FftAllToAll::on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t /*src*/,
+                             std::uint64_t tag) {
+  const std::uint32_t ph = static_cast<std::uint32_t>(tag);
+  ++received_[ph][dst];
+  if (phase_[dst] == 0 && received_[0][dst] == px_ - 1) {
+    phase_[dst] = 1;
+    alltoall(ctx, dst, 1);
+    // Column messages may have arrived before we entered phase 1.
+    if (received_[1][dst] == py_ - 1) {
+      phase_[dst] = 2;
+      ++done_;
+    }
+  } else if (phase_[dst] == 1 && received_[1][dst] == py_ - 1) {
+    phase_[dst] = 2;
+    ++done_;
+  }
+}
+
+}  // namespace sfly::sim

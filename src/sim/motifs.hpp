@@ -1,0 +1,141 @@
+#pragma once
+// Real-world communication motifs of Section VI-D, reproduced from the
+// Ember pattern library's specifications as dependency-driven endpoint
+// state machines (see DESIGN.md substitution table):
+//   Halo3D-26 — 3D stencil, 26 neighbors per rank per iteration;
+//   Sweep3D   — 2D process array, pipelined diagonal wavefronts;
+//   FFT       — row then column sub-communicator all-to-alls.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sfly::sim {
+
+class MotifContext;
+
+class Motif {
+ public:
+  virtual ~Motif() = default;
+  [[nodiscard]] virtual std::uint32_t num_ranks() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void start(MotifContext& ctx) = 0;
+  virtual void on_message(MotifContext& ctx, std::uint32_t dst_rank,
+                          std::uint32_t src_rank, std::uint64_t tag) = 0;
+  [[nodiscard]] virtual bool complete() const = 0;
+};
+
+/// Binds motif ranks to simulator endpoints and forwards sends.
+class MotifContext {
+ public:
+  MotifContext(Simulator& sim, std::vector<EndpointId> placement,
+               double compute_ns);
+
+  /// Send `bytes` from one rank to another, `compute_ns` after now.
+  void send(std::uint32_t src_rank, std::uint32_t dst_rank, std::uint32_t bytes,
+            std::uint64_t tag);
+  [[nodiscard]] double now() const { return sim_.now(); }
+
+ private:
+  friend struct MotifDriver;
+  Simulator& sim_;
+  std::vector<EndpointId> placement_;          // rank -> endpoint
+  std::vector<std::uint32_t> rank_of_;         // endpoint -> rank (or ~0)
+  double compute_ns_;
+};
+
+struct MotifResult {
+  double completion_ns = 0.0;
+  std::uint64_t messages = 0;
+  double mean_latency_ns = 0.0;
+};
+
+/// Run a motif to completion with the paper's placement rule.
+[[nodiscard]] MotifResult run_motif(Simulator& sim, Motif& motif,
+                                    std::uint64_t placement_seed,
+                                    double compute_ns = 500.0);
+
+// ---------------------------------------------------------------------------
+
+/// Halo3D-26: nx*ny*nz ranks on a periodic 3D grid exchange with all 26
+/// neighbors each iteration (6 faces, 12 edges, 8 corners with decreasing
+/// message sizes), advancing once the full halo has arrived.
+class Halo3D26 : public Motif {
+ public:
+  Halo3D26(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+           std::uint32_t iterations, std::uint32_t face_bytes = 16384,
+           std::uint32_t edge_bytes = 2048, std::uint32_t corner_bytes = 256);
+
+  [[nodiscard]] std::uint32_t num_ranks() const override { return nx_ * ny_ * nz_; }
+  [[nodiscard]] std::string name() const override { return "Halo3D-26"; }
+  void start(MotifContext& ctx) override;
+  void on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t src,
+                  std::uint64_t tag) override;
+  [[nodiscard]] bool complete() const override { return done_ == num_ranks(); }
+
+ private:
+  void exchange(MotifContext& ctx, std::uint32_t rank, std::uint32_t iter);
+  [[nodiscard]] std::uint32_t neighbor(std::uint32_t rank, int dx, int dy,
+                                       int dz) const;
+
+  std::uint32_t nx_, ny_, nz_, iters_;
+  std::uint32_t face_bytes_, edge_bytes_, corner_bytes_;
+  std::vector<std::vector<std::uint16_t>> received_;  // [rank][iter]
+  std::vector<std::uint32_t> rank_iter_;
+  std::uint32_t done_ = 0;
+};
+
+/// Sweep3D: px*py process array; four corner-initiated wavefront sweeps.
+/// A rank fires sweep s after its upstream (per the sweep direction)
+/// messages of sweep s arrive and it has finished sweep s-1.
+class Sweep3D : public Motif {
+ public:
+  Sweep3D(std::uint32_t px, std::uint32_t py, std::uint32_t sweeps,
+          std::uint32_t message_bytes = 8192);
+
+  [[nodiscard]] std::uint32_t num_ranks() const override { return px_ * py_; }
+  [[nodiscard]] std::string name() const override { return "Sweep3D"; }
+  void start(MotifContext& ctx) override;
+  void on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t src,
+                  std::uint64_t tag) override;
+  [[nodiscard]] bool complete() const override { return done_ == num_ranks(); }
+
+ private:
+  void try_fire(MotifContext& ctx, std::uint32_t rank);
+  [[nodiscard]] std::uint32_t deps_needed(std::uint32_t rank, std::uint32_t sweep) const;
+
+  std::uint32_t px_, py_, sweeps_, bytes_;
+  std::vector<std::vector<std::uint16_t>> received_;  // [rank][sweep]
+  std::vector<std::uint32_t> rank_sweep_;             // next sweep to fire
+  std::uint32_t done_ = 0;
+};
+
+/// FFT: px*py ranks; phase 0 all-to-all within each row communicator,
+/// phase 1 all-to-all within each column communicator.  "Balanced" uses a
+/// square px = py decomposition, "unbalanced" a skewed one (Section VI-D).
+class FftAllToAll : public Motif {
+ public:
+  FftAllToAll(std::uint32_t px, std::uint32_t py, std::uint32_t bytes_per_pair = 4096);
+
+  [[nodiscard]] std::uint32_t num_ranks() const override { return px_ * py_; }
+  [[nodiscard]] std::string name() const override {
+    return px_ == py_ ? "FFT(balanced)" : "FFT(unbalanced)";
+  }
+  void start(MotifContext& ctx) override;
+  void on_message(MotifContext& ctx, std::uint32_t dst, std::uint32_t src,
+                  std::uint64_t tag) override;
+  [[nodiscard]] bool complete() const override { return done_ == num_ranks(); }
+
+ private:
+  void alltoall(MotifContext& ctx, std::uint32_t rank, std::uint32_t phase);
+
+  std::uint32_t px_, py_, bytes_;
+  std::vector<std::uint16_t> received_[2];  // per rank, per phase
+  std::vector<std::uint8_t> phase_;
+  std::uint32_t done_ = 0;
+};
+
+}  // namespace sfly::sim

@@ -1,0 +1,297 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sfly::sim {
+
+Simulator::Simulator(const Graph& topo, const routing::Tables& tables, SimConfig cfg)
+    : topo_(topo), tables_(tables), cfg_(cfg) {
+  if (tables_.num_vertices() != topo_.num_vertices())
+    throw std::invalid_argument("Simulator: tables/topology mismatch");
+  if (cfg_.vcs == 0 || cfg_.concentration == 0 || cfg_.packet_bytes == 0)
+    throw std::invalid_argument("Simulator: degenerate configuration");
+
+  const Vertex n = topo_.num_vertices();
+  // Network ports in adjacency order per router.
+  net_port_base_.resize(n + 1);
+  net_port_base_[0] = 0;
+  for (Vertex r = 0; r < n; ++r)
+    net_port_base_[r + 1] = net_port_base_[r] + topo_.degree(r);
+
+  auto make_port = [&](bool network, bool injection) {
+    Port p;
+    p.is_network = network;
+    p.is_injection = injection;
+    p.q.resize(cfg_.vcs);
+    p.q_bytes.assign(cfg_.vcs, 0);
+    // Network and injection ports push into a downstream router input
+    // buffer and are credit-limited; ejection drains into the NIC freely.
+    p.credits.assign(cfg_.vcs,
+                     network || injection
+                         ? static_cast<std::int64_t>(cfg_.vc_buffer_bytes)
+                         : -1);
+    return p;
+  };
+
+  ports_.reserve(net_port_base_[n] + 2ull * n * cfg_.concentration);
+  for (Vertex r = 0; r < n; ++r)
+    for (Vertex nb : topo_.neighbors(r)) {
+      Port p = make_port(true, false);
+      p.to_router = nb;
+      ports_.push_back(std::move(p));
+    }
+  const std::uint32_t eps = n * cfg_.concentration;
+  inject_port_.resize(eps);
+  eject_port_.resize(eps);
+  for (EndpointId e = 0; e < eps; ++e) {
+    inject_port_[e] = static_cast<std::uint32_t>(ports_.size());
+    Port inj = make_port(false, true);
+    inj.to_router = router_of(e);
+    ports_.push_back(std::move(inj));
+    eject_port_[e] = static_cast<std::uint32_t>(ports_.size());
+    Port ej = make_port(false, false);
+    ej.eject_ep = e;
+    ports_.push_back(std::move(ej));
+  }
+  port_bytes_.assign(ports_.size(), 0);
+}
+
+Simulator::LinkLoad Simulator::link_load() const {
+  LinkLoad out;
+  const std::uint32_t net_ports = net_port_base_.back();
+  if (net_ports == 0) return out;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::uint32_t p = 0; p < net_ports; ++p) {
+    double b = static_cast<double>(port_bytes_[p]);
+    sum += b;
+    sum2 += b * b;
+    out.max_bytes = std::max(out.max_bytes, b);
+  }
+  out.mean_bytes = sum / net_ports;
+  double var = sum2 / net_ports - out.mean_bytes * out.mean_bytes;
+  out.cov = out.mean_bytes > 0 ? std::sqrt(std::max(0.0, var)) / out.mean_bytes : 0.0;
+  return out;
+}
+
+std::uint32_t Simulator::port_toward(Vertex router, Vertex neighbor) const {
+  auto nb = topo_.neighbors(router);
+  auto it = std::lower_bound(nb.begin(), nb.end(), neighbor);
+  if (it == nb.end() || *it != neighbor)
+    throw std::logic_error("Simulator: no port toward neighbor");
+  return net_port_base_[router] + static_cast<std::uint32_t>(it - nb.begin());
+}
+
+std::uint64_t Simulator::queue_probe(Vertex router, Vertex neighbor) const {
+  const Port& p = ports_[port_toward(router, neighbor)];
+  std::uint64_t total = 0;
+  for (auto b : p.q_bytes) total += b;
+  return total;
+}
+
+std::uint32_t Simulator::alloc_packet(const Packet& p) {
+  if (!free_packets_.empty()) {
+    std::uint32_t id = free_packets_.back();
+    free_packets_.pop_back();
+    packets_[id] = p;
+    return id;
+  }
+  packets_.push_back(p);
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void Simulator::free_packet(std::uint32_t id) { free_packets_.push_back(id); }
+
+MessageId Simulator::send(EndpointId src, EndpointId dst, std::uint32_t bytes,
+                          double when, std::uint64_t tag) {
+  if (src >= num_endpoints() || dst >= num_endpoints())
+    throw std::out_of_range("Simulator::send: endpoint out of range");
+  if (bytes == 0) bytes = 1;
+  MessageId m = static_cast<MessageId>(msgs_.size());
+  msgs_.push_back({src, dst, bytes, when, -1.0, tag});
+  msg_remaining_.push_back((bytes + cfg_.packet_bytes - 1) / cfg_.packet_bytes);
+  events_.push(when, EventKind::kInjectMessage, m);
+  return m;
+}
+
+void Simulator::handle_inject(MessageId m) {
+  const MessageRecord& rec = msgs_[m];
+  std::uint32_t remaining = rec.bytes;
+  const std::uint32_t inj = inject_port_[rec.src];
+  while (remaining > 0) {
+    std::uint32_t sz = std::min(remaining, cfg_.packet_bytes);
+    remaining -= sz;
+    Packet p;
+    p.msg = m;
+    p.bytes = sz;
+    p.dst_ep = rec.dst;
+    p.vc = 0;
+    p.hops = 0;
+    enqueue(inj, alloc_packet(p), 0);
+  }
+  try_transmit(inj);
+}
+
+void Simulator::enqueue(std::uint32_t port, std::uint32_t pkt, std::uint8_t vc) {
+  Port& p = ports_[port];
+  p.q[vc].push_back(pkt);
+  p.q_bytes[vc] += packets_[pkt].bytes;
+}
+
+void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
+  Packet& pkt = packets_[pkt_id];
+  const Vertex dst_router = router_of(pkt.dst_ep);
+
+  if (router == dst_router) {
+    std::uint32_t ej = eject_port_[pkt.dst_ep];
+    enqueue(ej, pkt_id, 0);
+    try_transmit(ej);
+    return;
+  }
+
+  const std::uint64_t entropy =
+      split_seed(cfg_.seed, (static_cast<std::uint64_t>(pkt.msg) << 16) ^
+                                (static_cast<std::uint64_t>(pkt.hops) << 8) ^ router);
+  if (pkt.hops == 0) {
+    // Source-router routing decision (minimal vs Valiant vs UGAL).
+    pkt.route = routing::source_decision(
+        cfg_.algo, topo_, tables_, router, dst_router, entropy,
+        [this](Vertex at, Vertex next) { return queue_probe(at, next); });
+  }
+  Vertex next;
+  if (cfg_.algo == routing::Algo::kAdaptiveMin) {
+    // Per-hop adaptivity within the minimal next-hop set: follow the
+    // least-congested local output port.
+    next = router;
+    std::uint64_t best_q = ~0ull;
+    const std::uint8_t du = tables_.distance(router, dst_router);
+    for (Vertex w : topo_.neighbors(router)) {
+      if (tables_.distance(w, dst_router) + 1 != du) continue;
+      std::uint64_t q = queue_probe(router, w);
+      if (q < best_q) {
+        best_q = q;
+        next = w;
+      }
+    }
+  } else {
+    next = routing::next_hop(topo_, tables_, router, dst_router, pkt.route,
+                             entropy);
+  }
+  std::uint8_t vc = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(pkt.hops, cfg_.vcs - 1));
+  pkt.vc = vc;
+  std::uint32_t port = port_toward(router, next);
+  enqueue(port, pkt_id, vc);
+  try_transmit(port);
+}
+
+void Simulator::try_transmit(std::uint32_t port_id) {
+  Port& p = ports_[port_id];
+  while (true) {
+    if (now_ < p.busy_until) {
+      // Coalesce wake-ups: one pending retry per port, re-armed when it
+      // fires.  (Without this, every arrival at a hot port would clone a
+      // retry event per serialization slot and the event queue would grow
+      // quadratically under congestion.)
+      if (!p.retry_scheduled) {
+        p.retry_scheduled = true;
+        events_.push(p.busy_until, EventKind::kTryTransmit, port_id);
+      }
+      return;
+    }
+    // Round-robin across VCs for a head packet with available credit.
+    std::uint32_t chosen_vc = cfg_.vcs;
+    for (std::uint32_t i = 0; i < cfg_.vcs; ++i) {
+      std::uint32_t vc = (p.rr + i) % cfg_.vcs;
+      if (p.q[vc].empty()) continue;
+      const Packet& head = packets_[p.q[vc].front()];
+      if (p.credits[vc] < 0 || p.credits[vc] >= static_cast<std::int64_t>(head.bytes)) {
+        chosen_vc = vc;
+        break;
+      }
+    }
+    if (chosen_vc == cfg_.vcs) return;  // nothing sendable now
+    p.rr = (chosen_vc + 1) % cfg_.vcs;
+
+    std::uint32_t pkt_id = p.q[chosen_vc].front();
+    p.q[chosen_vc].pop_front();
+    Packet& pkt = packets_[pkt_id];
+    p.q_bytes[chosen_vc] -= pkt.bytes;
+    if (p.credits[chosen_vc] >= 0) p.credits[chosen_vc] -= pkt.bytes;
+
+    const double ser = pkt.bytes / cfg_.bandwidth_bytes_per_ns;
+    const double done = now_ + ser;
+    p.busy_until = done;
+    ++packets_forwarded_;
+    port_bytes_[port_id] += pkt.bytes;
+
+    // This packet leaving the port frees the buffer it occupied at *this*
+    // router's input; return the credit upstream at transmit completion.
+    if (pkt.upstream_port != kNoPort)
+      events_.push(done, EventKind::kCreditReturn, pkt.upstream_port,
+                   (static_cast<std::uint64_t>(pkt.upstream_vc) << 32) | pkt.bytes);
+
+    if (p.is_network || p.is_injection) {
+      pkt.upstream_port = port_id;
+      pkt.upstream_vc = pkt.vc;
+      if (p.is_network) ++pkt.hops;
+      events_.push(done + cfg_.link_latency_ns + cfg_.router_latency_ns,
+                   EventKind::kArrival, pkt_id, p.to_router);
+    } else {
+      pkt.upstream_port = kNoPort;
+      events_.push(done + cfg_.nic_latency_ns, EventKind::kDeliver, pkt_id);
+    }
+    // Loop to fill the next idle slot (busy_until just moved forward, so
+    // the next iteration schedules a retry event instead of spinning).
+  }
+}
+
+void Simulator::handle_deliver(std::uint32_t pkt_id) {
+  const Packet& pkt = packets_[pkt_id];
+  MessageRecord& rec = msgs_[pkt.msg];
+  if (--msg_remaining_[pkt.msg] == 0) {
+    rec.delivered_ns = now_;
+    latency_.record(now_ - rec.created_ns);
+    if (now_ > completion_) completion_ = now_;
+    if (on_delivery_) on_delivery_(rec);
+  }
+  free_packet(pkt_id);
+}
+
+bool Simulator::run(double until, std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (!events_.empty() && processed < max_events) {
+    if (events_.top().time > until) return false;
+    Event e = events_.pop();
+    now_ = e.time;
+    ++processed;
+    switch (e.kind) {
+      case EventKind::kInjectMessage:
+        handle_inject(static_cast<MessageId>(e.a));
+        break;
+      case EventKind::kArrival:
+        handle_arrival(static_cast<std::uint32_t>(e.a), static_cast<Vertex>(e.b));
+        break;
+      case EventKind::kTryTransmit:
+        ports_[e.a].retry_scheduled = false;
+        try_transmit(static_cast<std::uint32_t>(e.a));
+        break;
+      case EventKind::kCreditReturn: {
+        Port& p = ports_[e.a];
+        std::uint32_t vc = static_cast<std::uint32_t>(e.b >> 32);
+        std::uint32_t bytes = static_cast<std::uint32_t>(e.b & 0xFFFFFFFF);
+        if (p.credits[vc] >= 0) p.credits[vc] += bytes;
+        try_transmit(static_cast<std::uint32_t>(e.a));
+        break;
+      }
+      case EventKind::kDeliver:
+        handle_deliver(static_cast<std::uint32_t>(e.a));
+        break;
+    }
+  }
+  return events_.empty();
+}
+
+}  // namespace sfly::sim

@@ -1,0 +1,155 @@
+#pragma once
+// Event-driven packet-level interconnect simulator — the repository's
+// stand-in for SST/macro's SNAPPR network model (see DESIGN.md).
+//
+// Model: store-and-forward routers with per-output-port, per-VC FIFO
+// queues; credit-based flow control against finite per-input-VC buffers;
+// links with configurable bandwidth and latency; NIC injection/ejection
+// ports with the same bandwidth.  The virtual-channel index increases on
+// every network hop (Section V-A), which makes the channel dependency
+// graph acyclic and the simulation deadlock-free when the VC pool is
+// sized per routing::required_vcs.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/policy.hpp"
+#include "routing/tables.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace sfly::sim {
+
+struct SimConfig {
+  double bandwidth_bytes_per_ns = 12.5;  // 100 Gb/s links
+  double link_latency_ns = 50.0;
+  double router_latency_ns = 100.0;
+  double nic_latency_ns = 50.0;
+  std::uint32_t concentration = 8;       // endpoints per router
+  std::uint32_t vcs = 4;                 // virtual channels per port
+  std::uint32_t vc_buffer_bytes = 16384; // per VC per input port (64 KB/port at 4 VCs)
+  std::uint32_t packet_bytes = 4096;     // message segmentation unit
+  routing::Algo algo = routing::Algo::kMinimal;
+  std::uint64_t seed = 1;
+};
+
+using EndpointId = std::uint32_t;
+using MessageId = std::uint32_t;
+
+struct MessageRecord {
+  EndpointId src = 0, dst = 0;
+  std::uint32_t bytes = 0;
+  double created_ns = 0.0;
+  double delivered_ns = -1.0;
+  std::uint64_t tag = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Graph& topo, const routing::Tables& tables, SimConfig cfg);
+
+  [[nodiscard]] std::uint32_t num_endpoints() const {
+    return topo_.num_vertices() * cfg_.concentration;
+  }
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Schedule a message; `when` must be >= now(). Returns the message id.
+  MessageId send(EndpointId src, EndpointId dst, std::uint32_t bytes, double when,
+                 std::uint64_t tag = 0);
+
+  /// Called on each delivery (motifs react by issuing more sends).
+  void set_delivery_callback(std::function<void(const MessageRecord&)> cb) {
+    on_delivery_ = std::move(cb);
+  }
+
+  /// Process events until the queue drains or `until` is reached.
+  /// Returns true if the queue drained (all traffic delivered).
+  bool run(double until = std::numeric_limits<double>::infinity(),
+           std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  [[nodiscard]] const LatencyStats& message_latency() const { return latency_; }
+  [[nodiscard]] const std::vector<MessageRecord>& messages() const { return msgs_; }
+  [[nodiscard]] double completion_time() const { return completion_; }
+  [[nodiscard]] std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+
+  /// Per-network-link load: bytes forwarded over each directed router
+  /// port.  The coefficient of variation quantifies hot links (the
+  /// discrepancy property predicts a low CoV for SpectralFly).
+  struct LinkLoad {
+    double mean_bytes = 0.0;
+    double max_bytes = 0.0;
+    double cov = 0.0;  // stddev / mean over directed network ports
+  };
+  [[nodiscard]] LinkLoad link_load() const;
+
+ private:
+  static constexpr std::uint32_t kNoPort = 0xFFFFFFFF;
+
+  struct Packet {
+    MessageId msg = 0;
+    std::uint32_t bytes = 0;
+    EndpointId dst_ep = 0;
+    routing::PacketRoute route;
+    std::uint8_t vc = 0;
+    std::uint8_t hops = 0;
+    std::uint32_t upstream_port = kNoPort;  // credit return target
+    std::uint8_t upstream_vc = 0;
+  };
+
+  struct Port {
+    Vertex to_router = 0;        // network ports
+    EndpointId eject_ep = 0;     // ejection ports
+    bool is_network = false;
+    bool is_injection = false;
+    bool retry_scheduled = false;  // at most one pending kTryTransmit
+    double busy_until = 0.0;
+    std::uint32_t rr = 0;        // round-robin VC scan start
+    std::vector<std::deque<std::uint32_t>> q;  // packet ids per VC
+    std::vector<std::uint64_t> q_bytes;        // per VC
+    std::vector<std::int64_t> credits;         // per VC (bytes); -1 = infinite
+  };
+
+  void handle_inject(MessageId m);
+  void handle_arrival(std::uint32_t pkt, Vertex router);
+  void try_transmit(std::uint32_t port);
+  void handle_deliver(std::uint32_t pkt);
+  void enqueue(std::uint32_t port, std::uint32_t pkt, std::uint8_t vc);
+  [[nodiscard]] std::uint32_t port_toward(Vertex router, Vertex neighbor) const;
+  [[nodiscard]] std::uint64_t queue_probe(Vertex router, Vertex neighbor) const;
+  [[nodiscard]] Vertex router_of(EndpointId ep) const {
+    return static_cast<Vertex>(ep / cfg_.concentration);
+  }
+  std::uint32_t alloc_packet(const Packet& p);
+  void free_packet(std::uint32_t id);
+
+  const Graph& topo_;
+  const routing::Tables& tables_;
+  SimConfig cfg_;
+
+  std::vector<Port> ports_;
+  std::vector<std::uint32_t> net_port_base_;   // per router, into ports_
+  std::vector<std::uint32_t> inject_port_;     // per endpoint
+  std::vector<std::uint32_t> eject_port_;      // per endpoint
+
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> free_packets_;
+
+  std::vector<MessageRecord> msgs_;
+  std::vector<std::uint32_t> msg_remaining_;   // undelivered packets per message
+
+  std::vector<std::uint64_t> port_bytes_;  // forwarded bytes per port
+
+  EventQueue events_;
+  double now_ = 0.0;
+  double completion_ = 0.0;
+  std::uint64_t packets_forwarded_ = 0;
+  LatencyStats latency_;
+  std::function<void(const MessageRecord&)> on_delivery_;
+};
+
+}  // namespace sfly::sim

@@ -1,0 +1,30 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfly::sim {
+
+void LatencyStats::record(double latency_ns) {
+  if (count_ == 0 || latency_ns < min_) min_ = latency_ns;
+  if (latency_ns > max_) max_ = latency_ns;
+  sum_ += latency_ns;
+  ++count_;
+  samples_.push_back(latency_ns);
+  sorted_ = false;
+}
+
+double LatencyStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double idx = p * static_cast<double>(samples_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace sfly::sim

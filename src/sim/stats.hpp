@@ -1,0 +1,30 @@
+#pragma once
+// Latency / completion statistics collected by the simulator.
+
+#include <cstdint>
+#include <vector>
+
+namespace sfly::sim {
+
+class LatencyStats {
+ public:
+  void record(double latency_ns);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  /// p in [0,1]; sorts an internal copy on demand.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  friend class Simulator;
+};
+
+}  // namespace sfly::sim

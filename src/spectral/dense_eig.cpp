@@ -1,0 +1,99 @@
+#include "spectral/dense_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfly {
+
+std::vector<double> symmetric_eigenvalues(std::vector<double> a, std::size_t n) {
+  if (a.size() != n * n) throw std::invalid_argument("symmetric_eigenvalues: size");
+  auto at = [&](std::size_t i, std::size_t j) -> double& { return a[i * n + j]; };
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+    if (off < 1e-22 * static_cast<double>(n * n)) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          double akp = at(k, p), akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double apk = at(p, k), aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = at(i, i);
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> d,
+                                            std::vector<double> e) {
+  // QL with implicit shifts (Numerical-Recipes-style `tqli`, values only).
+  const std::size_t n = d.size();
+  if (n == 0) return {};
+  if (e.size() + 1 != n) throw std::invalid_argument("tridiagonal_eigenvalues");
+  e.push_back(0.0);
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 50) throw std::runtime_error("tqli: too many iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace sfly

@@ -1,0 +1,21 @@
+#pragma once
+// Dense symmetric eigensolver (cyclic Jacobi rotations).
+//
+// Used (a) to diagonalize the small tridiagonal matrices produced by
+// Lanczos and (b) as an exact reference for small graphs in tests.
+
+#include <vector>
+
+namespace sfly {
+
+/// Eigenvalues of a symmetric matrix given in row-major order (n*n),
+/// returned in ascending order.  O(n^3); intended for n up to ~500.
+[[nodiscard]] std::vector<double> symmetric_eigenvalues(std::vector<double> a,
+                                                        std::size_t n);
+
+/// Eigenvalues of a symmetric tridiagonal matrix with diagonal `d` and
+/// off-diagonal `e` (e.size() == d.size()-1), ascending.
+[[nodiscard]] std::vector<double> tridiagonal_eigenvalues(std::vector<double> d,
+                                                          std::vector<double> e);
+
+}  // namespace sfly

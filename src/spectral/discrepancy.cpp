@@ -1,0 +1,60 @@
+#include "spectral/discrepancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "spectral/spectra.hpp"
+#include "util/rng.hpp"
+
+namespace sfly {
+
+std::uint64_t edges_between(const Graph& g, const std::vector<std::uint8_t>& in_s,
+                            const std::vector<std::uint8_t>& in_t) {
+  std::uint64_t count = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!in_s[u]) continue;
+    for (Vertex v : g.neighbors(u))
+      if (in_t[v]) ++count;
+  }
+  return count;
+}
+
+DiscrepancyResult measure_discrepancy(const Graph& g, std::uint32_t samples,
+                                      double max_fraction, std::uint64_t seed) {
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k) || k == 0)
+    throw std::invalid_argument("measure_discrepancy: graph must be regular");
+  const Vertex n = g.num_vertices();
+
+  DiscrepancyResult out;
+  out.samples = samples;
+  out.lambda_bound = compute_spectra(g).lambda;
+
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::vector<std::uint8_t> in_s(n), in_t(n);
+  Rng rng(seed);
+  const Vertex max_size = std::max<Vertex>(2, static_cast<Vertex>(n * max_fraction));
+
+  for (std::uint32_t trial = 0; trial < samples; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const Vertex s_size = 2 + static_cast<Vertex>(uniform_below(rng, max_size - 1));
+    const Vertex t_size = 2 + static_cast<Vertex>(uniform_below(rng, max_size - 1));
+    if (s_size + t_size > n) continue;
+    std::fill(in_s.begin(), in_s.end(), 0);
+    std::fill(in_t.begin(), in_t.end(), 0);
+    for (Vertex i = 0; i < s_size; ++i) in_s[perm[i]] = 1;
+    for (Vertex i = 0; i < t_size; ++i) in_t[perm[s_size + i]] = 1;
+
+    const double e = static_cast<double>(edges_between(g, in_s, in_t));
+    const double expected = static_cast<double>(k) * s_size * t_size / n;
+    const double dev = std::abs(e - expected) /
+                       std::sqrt(static_cast<double>(s_size) * t_size);
+    out.max_observed = std::max(out.max_observed, dev);
+  }
+  return out;
+}
+
+}  // namespace sfly

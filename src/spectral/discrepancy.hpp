@@ -1,0 +1,39 @@
+#pragma once
+// Empirical discrepancy measurement (Section II, Fig. 1).
+//
+// The expander mixing lemma bounds, for any vertex sets S and T of a
+// k-regular graph, |e(S,T) - k|S||T|/n| <= lambda * sqrt(|S||T|) — large
+// spectral gap forbids bottlenecks between *arbitrary* subsets, not just
+// bisections.  This module samples random subset pairs and reports the
+// worst observed normalized deviation, so the paper's "discrepancy
+// property" can be compared across topologies.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+struct DiscrepancyResult {
+  /// max over sampled (S,T) of |e(S,T) - k|S||T|/n| / sqrt(|S||T|).
+  double max_observed = 0.0;
+  /// The mixing-lemma ceiling lambda(G) for reference (must dominate).
+  double lambda_bound = 0.0;
+  std::uint32_t samples = 0;
+};
+
+/// Sample `samples` random disjoint subset pairs with sizes up to
+/// n * max_fraction and measure the mixing deviation.  Requires a
+/// connected regular graph.
+[[nodiscard]] DiscrepancyResult measure_discrepancy(const Graph& g,
+                                                    std::uint32_t samples = 200,
+                                                    double max_fraction = 0.25,
+                                                    std::uint64_t seed = 1);
+
+/// Count edges with one endpoint in S and the other in T (S, T disjoint
+/// vertex index sets given as 0/1 masks).
+[[nodiscard]] std::uint64_t edges_between(const Graph& g,
+                                          const std::vector<std::uint8_t>& in_s,
+                                          const std::vector<std::uint8_t>& in_t);
+
+}  // namespace sfly

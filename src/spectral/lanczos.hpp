@@ -1,0 +1,26 @@
+#pragma once
+// Lanczos iteration with full reorthogonalization for extreme eigenvalues
+// of the (deflated) adjacency operator of a graph.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+struct LanczosResult {
+  double min_eig = 0.0;  // smallest Ritz value
+  double max_eig = 0.0;  // largest Ritz value
+  int iterations = 0;
+};
+
+/// Extreme eigenvalues of the adjacency matrix restricted to the orthogonal
+/// complement of `deflate` (each deflate vector length n; they need not be
+/// normalized — they are orthonormalized internally).  Deterministic for a
+/// fixed seed.  `max_iter` bounds the Krylov dimension.
+[[nodiscard]] LanczosResult adjacency_extreme_eigenvalues(
+    const Graph& g, const std::vector<std::vector<double>>& deflate,
+    int max_iter = 300, std::uint64_t seed = 12345);
+
+}  // namespace sfly

@@ -1,0 +1,44 @@
+#include "spectral/spectra.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace sfly {
+
+double ramanujan_bound(std::uint32_t k) {
+  return 2.0 * std::sqrt(static_cast<double>(k) - 1.0);
+}
+
+Spectra compute_spectra(const Graph& g, int max_iter, std::uint64_t seed) {
+  Spectra out;
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k))
+    throw std::invalid_argument("compute_spectra: graph must be regular");
+  out.radix = k;
+  const Vertex n = g.num_vertices();
+  if (n < 2) return out;
+
+  std::vector<std::uint8_t> side;
+  out.bipartite = is_bipartite(g, &side);
+
+  std::vector<std::vector<double>> deflate;
+  deflate.emplace_back(n, 1.0);  // Perron vector (eigenvalue +k)
+  if (out.bipartite) {
+    std::vector<double> parity(n);
+    for (Vertex v = 0; v < n; ++v) parity[v] = side[v] ? -1.0 : 1.0;
+    deflate.push_back(std::move(parity));  // eigenvalue -k
+  }
+
+  auto ext = adjacency_extreme_eigenvalues(g, deflate, max_iter, seed);
+  out.lambda2 = ext.max_eig;
+  out.lambda_min = ext.min_eig;
+  out.lambda = std::max(std::abs(out.lambda2), std::abs(out.lambda_min));
+  out.mu1 = (static_cast<double>(k) - out.lambda) / static_cast<double>(k);
+  out.ramanujan = out.lambda <= ramanujan_bound(k) + 1e-6;
+  return out;
+}
+
+}  // namespace sfly

@@ -1,0 +1,40 @@
+#pragma once
+// Graph spectra quantities from Section II of the paper:
+//   lambda(G)  — largest-magnitude adjacency eigenvalue not equal to ±k
+//   mu1        — normalized Laplacian spectral gap, (k - lambda)/k
+//   Ramanujan  — lambda(G) <= 2*sqrt(k-1)
+//   Fiedler lower bound on bisection bandwidth, (k - lambda_2) * n / 4.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sfly {
+
+struct Spectra {
+  std::uint32_t radix = 0;    // k (graph must be regular and connected)
+  double lambda2 = 0.0;       // second largest adjacency eigenvalue (algebraic)
+  double lambda_min = 0.0;    // smallest adjacency eigenvalue, excluding -k when bipartite
+  double lambda = 0.0;        // lambda(G) = max(|lambda2|, |lambda_min|)
+  double mu1 = 0.0;           // (k - lambda)/k
+  bool bipartite = false;
+  bool ramanujan = false;     // lambda <= 2*sqrt(k-1)
+
+  /// Fiedler/Mohar spectral lower bound on the bisection bandwidth:
+  /// BW(G) >= mu * k * n / 4 with mu = (k - lambda2)/k the normalized
+  /// algebraic connectivity (Section IV-d of the paper).
+  [[nodiscard]] double bisection_lower_bound(std::uint32_t n) const {
+    return (radix - lambda2) * static_cast<double>(n) / 4.0;
+  }
+};
+
+/// Compute the spectra of a connected regular graph.  Uses Lanczos with
+/// deflation of the trivial eigenvector (all-ones) and, for bipartite
+/// graphs, the parity vector carrying the -k eigenvalue.
+[[nodiscard]] Spectra compute_spectra(const Graph& g, int max_iter = 300,
+                                      std::uint64_t seed = 12345);
+
+/// The Ramanujan bound 2*sqrt(k-1) (Alon–Boppana floor).
+[[nodiscard]] double ramanujan_bound(std::uint32_t k);
+
+}  // namespace sfly

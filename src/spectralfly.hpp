@@ -1,0 +1,57 @@
+#pragma once
+// Umbrella header: the library's public API in one include.
+//
+//   #include "spectralfly.hpp"
+//   auto net = sfly::core::Network::spectralfly({11, 7});
+//
+// Finer-grained headers remain available for compile-time-conscious users;
+// see README.md ("Architecture") for the layering.
+
+// Core facade and design-space search.
+#include "core/design_space.hpp"
+#include "core/spectralfly_net.hpp"
+
+// Graph substrate and analytics.
+#include "graph/betweenness.hpp"
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/failures.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/matching.hpp"
+#include "graph/metrics.hpp"
+
+// Spectral tooling.
+#include "spectral/discrepancy.hpp"
+#include "spectral/spectra.hpp"
+
+// Partitioning (bisection bandwidth).
+#include "partition/bisection.hpp"
+
+// Topology generators.
+#include "topo/bundlefly.hpp"
+#include "topo/classic.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/factory.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/lifts.hpp"
+#include "topo/lps.hpp"
+#include "topo/margulis.hpp"
+#include "topo/paley.hpp"
+#include "topo/skywalk.hpp"
+#include "topo/slimfly.hpp"
+
+// Routing and simulation.
+#include "routing/diversity.hpp"
+#include "routing/policy.hpp"
+#include "routing/tables.hpp"
+#include "sim/motifs.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+// Physical layout and cost models.
+#include "layout/cabinets.hpp"
+#include "layout/latency.hpp"
+#include "layout/power.hpp"
+#include "layout/qap.hpp"
+#include "layout/wiring.hpp"

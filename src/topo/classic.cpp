@@ -1,0 +1,113 @@
+#include "topo/classic.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sfly::topo {
+
+Graph torus_graph(const std::vector<std::uint32_t>& dims) {
+  if (dims.empty()) throw std::invalid_argument("torus_graph: no dimensions");
+  std::uint64_t n = 1;
+  for (auto d : dims) {
+    if (d < 2) throw std::invalid_argument("torus_graph: extent must be >= 2");
+    n *= d;
+  }
+  GraphBuilder b(static_cast<Vertex>(n));
+  // Mixed-radix coordinates; +1 neighbor per dimension (wraparound).  For
+  // extent-2 dimensions the wrap edge coincides with the forward edge and
+  // the builder dedup keeps a single link.
+  std::vector<std::uint32_t> stride(dims.size(), 1);
+  for (std::size_t i = 1; i < dims.size(); ++i)
+    stride[i] = stride[i - 1] * dims[i - 1];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      std::uint32_t coord = (v / stride[i]) % dims[i];
+      std::uint64_t fwd = v - static_cast<std::uint64_t>(coord) * stride[i] +
+                          static_cast<std::uint64_t>((coord + 1) % dims[i]) * stride[i];
+      b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(fwd));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube_graph(unsigned dimensions) {
+  if (dimensions == 0 || dimensions > 24)
+    throw std::invalid_argument("hypercube_graph: 1 <= d <= 24");
+  const Vertex n = 1u << dimensions;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (unsigned bit = 0; bit < dimensions; ++bit)
+      if (!(v & (1u << bit))) b.add_edge(v, v | (1u << bit));
+  return std::move(b).build();
+}
+
+Graph complete_graph_topo(std::uint32_t n) {
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return std::move(b).build();
+}
+
+Graph complete_bipartite_graph(std::uint32_t a, std::uint32_t b_count) {
+  GraphBuilder b(a + b_count);
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b_count; ++j) b.add_edge(i, a + j);
+  return std::move(b).build();
+}
+
+Graph flattened_butterfly_graph(std::uint32_t a, std::uint32_t b_dim) {
+  if (a < 2 || b_dim < 2)
+    throw std::invalid_argument("flattened_butterfly_graph: need a,b >= 2");
+  GraphBuilder b(a * b_dim);
+  auto id = [&](std::uint32_t r, std::uint32_t c) { return r * b_dim + c; };
+  for (std::uint32_t r = 0; r < a; ++r)
+    for (std::uint32_t c1 = 0; c1 < b_dim; ++c1)
+      for (std::uint32_t c2 = c1 + 1; c2 < b_dim; ++c2)
+        b.add_edge(id(r, c1), id(r, c2));
+  for (std::uint32_t c = 0; c < b_dim; ++c)
+    for (std::uint32_t r1 = 0; r1 < a; ++r1)
+      for (std::uint32_t r2 = r1 + 1; r2 < a; ++r2)
+        b.add_edge(id(r1, c), id(r2, c));
+  return std::move(b).build();
+}
+
+Graph fat_tree_graph(std::uint32_t k) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("fat_tree_graph: k must be even and >= 2");
+  const std::uint32_t half = k / 2;
+  const std::uint32_t cores = half * half;
+  const Vertex n = cores + k * k;  // cores + k pods * (half agg + half edge)
+  GraphBuilder b(n);
+  auto agg = [&](std::uint32_t pod, std::uint32_t i) { return cores + pod * k + i; };
+  auto edge = [&](std::uint32_t pod, std::uint32_t i) {
+    return cores + pod * k + half + i;
+  };
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    // Aggregation <-> edge: complete bipartite within the pod.
+    for (std::uint32_t i = 0; i < half; ++i)
+      for (std::uint32_t j = 0; j < half; ++j)
+        b.add_edge(static_cast<Vertex>(agg(pod, i)), static_cast<Vertex>(edge(pod, j)));
+    // Aggregation i connects to core group i (cores i*half .. i*half+half).
+    for (std::uint32_t i = 0; i < half; ++i)
+      for (std::uint32_t j = 0; j < half; ++j)
+        b.add_edge(static_cast<Vertex>(agg(pod, i)), static_cast<Vertex>(i * half + j));
+  }
+  return std::move(b).build();
+}
+
+Graph cycle_graph_topo(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph_topo: n >= 3");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return std::move(b).build();
+}
+
+Graph path_graph_topo(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("path_graph_topo: n >= 2");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return std::move(b).build();
+}
+
+}  // namespace sfly::topo

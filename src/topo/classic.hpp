@@ -1,0 +1,49 @@
+#pragma once
+// Classic interconnection topologies used as additional baselines.
+//
+// The spectral-gap survey the paper builds on (Aksoy, Bruillard, Young,
+// Raugas, "Ramanujan graphs and the spectral gap of supercomputing
+// topologies") derives spectral gaps for these standard families; having
+// them in the library lets users reproduce the survey's "most
+// supercomputing topologies are far from Ramanujan" observation with the
+// same spectral tooling applied to SpectralFly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+/// d-dimensional torus with the given per-dimension extents (k-ary n-cube
+/// for equal extents). Extent 2 dimensions are degenerate (a single edge,
+/// not a 2-cycle): degree contribution is 1 there, otherwise 2.
+[[nodiscard]] Graph torus_graph(const std::vector<std::uint32_t>& dims);
+
+/// Binary hypercube Q_d on 2^d vertices (bipartite, diameter d).
+[[nodiscard]] Graph hypercube_graph(unsigned dimensions);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph_topo(std::uint32_t n);
+
+/// Complete bipartite K_{a,b}.
+[[nodiscard]] Graph complete_bipartite_graph(std::uint32_t a, std::uint32_t b);
+
+/// 2D flattened butterfly: an a x b grid of routers with full connectivity
+/// within every row and every column (the Kim-Dally flattened butterfly of
+/// two dimensions, router radix (a-1) + (b-1)).
+[[nodiscard]] Graph flattened_butterfly_graph(std::uint32_t a, std::uint32_t b);
+
+/// k-ary fat tree router graph (three-level Clos of k-port switches):
+/// k^2/4 core switches, k pods of k/2 aggregation + k/2 edge switches.
+/// k must be even. Vertices: core [0, k^2/4), then per pod aggregation
+/// then edge.  (Endpoints attach at edge switches; this returns the
+/// switch-level graph.)
+[[nodiscard]] Graph fat_tree_graph(std::uint32_t k);
+
+/// Cycle C_n and path P_n (tiny testing/diagnostic helpers).
+[[nodiscard]] Graph cycle_graph_topo(std::uint32_t n);
+[[nodiscard]] Graph path_graph_topo(std::uint32_t n);
+
+}  // namespace sfly::topo

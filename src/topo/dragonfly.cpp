@@ -1,0 +1,92 @@
+#include "topo/dragonfly.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sfly::topo {
+namespace {
+
+void add_local_cliques(GraphBuilder& b, std::uint64_t a, std::uint64_t g) {
+  for (std::uint64_t grp = 0; grp < g; ++grp)
+    for (std::uint64_t r1 = 0; r1 < a; ++r1)
+      for (std::uint64_t r2 = r1 + 1; r2 < a; ++r2)
+        b.add_edge(static_cast<Vertex>(grp * a + r1),
+                   static_cast<Vertex>(grp * a + r2));
+}
+
+// Circulant arrangement: global port k of a group reaches offset
+// +((k/2 mod M) + 1) for even k and the matching negative offset for odd
+// k, with M = floor((G-1)/2) so that +d and -d never alias modulo G (an
+// offset above G/2 would coincide with a negative offset and create
+// duplicate links).  The even port's link lands on the odd partner port of
+// the target group.  When the per-group port count is odd and G is even,
+// the final port self-pairs across the G/2 offset (this realizes the
+// canonical DF(a) for odd a).
+void add_global_circulant(GraphBuilder& b, const DragonFlyParams& p) {
+  const std::uint64_t a = p.a, h = p.h, G = p.g;
+  const std::uint64_t ports = a * h;
+  const std::uint64_t M = (G - 1) / 2;
+  for (std::uint64_t grp = 0; grp < G; ++grp) {
+    for (std::uint64_t k = 0; k + 1 < ports; k += 2) {
+      std::uint64_t o = M ? (k / 2) % M + 1 : 1;
+      std::uint64_t tgt = (grp + o) % G;
+      b.add_edge(static_cast<Vertex>(grp * a + k / h),
+                 static_cast<Vertex>(tgt * a + (k + 1) / h));
+    }
+    if (ports % 2 == 1 && G % 2 == 0) {
+      std::uint64_t k = ports - 1;
+      std::uint64_t tgt = (grp + G / 2) % G;
+      b.add_edge(static_cast<Vertex>(grp * a + k / h),
+                 static_cast<Vertex>(tgt * a + k / h));
+    }
+  }
+}
+
+// Absolute arrangement: each group's global ports walk its target list
+// (all other groups in increasing order) cyclically; the c-th link from
+// group i to group j pairs with the c-th link from j to i.
+void add_global_absolute(GraphBuilder& b, const DragonFlyParams& p) {
+  const std::uint64_t a = p.a, h = p.h, G = p.g;
+  const std::uint64_t ports = a * h;
+  auto port_for = [&](std::uint64_t grp, std::uint64_t tgt, std::uint64_t c) {
+    std::uint64_t idx = tgt < grp ? tgt : tgt - 1;
+    return c * (G - 1) + idx;
+  };
+  for (std::uint64_t g1 = 0; g1 < G; ++g1)
+    for (std::uint64_t g2 = g1 + 1; g2 < G; ++g2)
+      for (std::uint64_t c = 0;; ++c) {
+        std::uint64_t k1 = port_for(g1, g2, c);
+        std::uint64_t k2 = port_for(g2, g1, c);
+        if (k1 >= ports || k2 >= ports) break;
+        b.add_edge(static_cast<Vertex>(g1 * a + k1 / h),
+                   static_cast<Vertex>(g2 * a + k2 / h));
+      }
+}
+
+}  // namespace
+
+Graph dragonfly_graph(const DragonFlyParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("dragonfly_graph: need a >= 2, h >= 1, g >= 2");
+  DragonFlyParams p = params;
+  if (p.g == 0) p.g = p.a + 1;
+
+  GraphBuilder b(static_cast<Vertex>(p.num_vertices()));
+  add_local_cliques(b, p.a, p.g);
+  if (p.arrangement == GlobalArrangement::kCirculant)
+    add_global_circulant(b, p);
+  else
+    add_global_absolute(b, p);
+
+  Graph g = std::move(b).build();
+  // The canonical instances must come out exactly radix-regular.
+  if (p.h == 1 && p.g == p.a + 1) {
+    std::uint32_t k = 0;
+    if (!g.is_regular(&k) || k != p.radix())
+      throw std::logic_error("dragonfly_graph: canonical instance not a-regular");
+  }
+  return g;
+}
+
+}  // namespace sfly::topo

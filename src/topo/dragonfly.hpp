@@ -1,0 +1,50 @@
+#pragma once
+// DragonFly topologies (Kim, Dally, Scott, Abts, ISCA'08).
+//
+// Canonical DF(a) (Table I): a+1 fully connected groups of a routers, one
+// global link per router — a(a+1) routers of radix a, diameter 3.
+//
+// General DF(a, h, g): g groups of a routers, each router with h global
+// ports (plus a-1 local ports).  Global links are laid out in either the
+// "absolute" or the "circulant" arrangement (Hastings et al.); the paper's
+// simulations use circulant for its better bisection.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+enum class GlobalArrangement {
+  kAbsolute,   // consecutive ports to consecutive groups
+  kCirculant,  // balanced +/- offsets (default in the paper's experiments)
+};
+
+struct DragonFlyParams {
+  std::uint64_t a = 0;  // routers per group
+  std::uint64_t h = 1;  // global ports per router
+  std::uint64_t g = 0;  // number of groups (0 = canonical a+1)
+  GlobalArrangement arrangement = GlobalArrangement::kCirculant;
+
+  /// Canonical Table-I instance DF(a).
+  static DragonFlyParams canonical(std::uint64_t a) { return {a, 1, a + 1}; }
+
+  [[nodiscard]] bool valid() const { return a >= 2 && h >= 1 && g >= 2; }
+  [[nodiscard]] std::uint64_t num_vertices() const { return a * g; }
+  [[nodiscard]] std::uint32_t radix() const {
+    return static_cast<std::uint32_t>(a - 1 + h);
+  }
+  [[nodiscard]] std::string name() const {
+    if (h == 1 && g == a + 1) return "DF(" + std::to_string(a) + ")";
+    return "DF(a=" + std::to_string(a) + ",h=" + std::to_string(h) +
+           ",g=" + std::to_string(g) + ")";
+  }
+};
+
+/// Vertex numbering: group * a + router.  Note the realized radix can fall
+/// short of radix() by one on some routers when a*h is odd and the final
+/// global port cannot be paired (the canonical construction always pairs).
+[[nodiscard]] Graph dragonfly_graph(const DragonFlyParams& params);
+
+}  // namespace sfly::topo

@@ -1,0 +1,67 @@
+#include "topo/factory.hpp"
+
+#include "nt/numtheory.hpp"
+
+namespace sfly::topo {
+
+Instance make_lps(const LpsParams& p) { return {p.name(), lps_graph(p), p.radix()}; }
+
+Instance make_slimfly(const SlimFlyParams& p) {
+  return {p.name(), slimfly_graph(p), p.radix()};
+}
+
+Instance make_bundlefly(const BundleFlyParams& p) {
+  return {p.name(), bundlefly_graph(p), p.radix()};
+}
+
+Instance make_dragonfly(const DragonFlyParams& p) {
+  return {p.name(), dragonfly_graph(p), p.radix()};
+}
+
+std::vector<SizeClass> table1_classes() {
+  return {
+      {{11, 7}, {7}, {13, 3}, 12},
+      {{23, 11}, {17}, {37, 3}, 24},
+      {{53, 17}, {37}, {97, 4}, 53},
+      {{71, 17}, {47}, {137, 4}, 69},
+      {{89, 19}, {59}, {157, 5}, 85},
+  };
+}
+
+std::vector<FeasiblePoint> feasible_lps(std::uint64_t max_p, std::uint64_t max_q) {
+  std::vector<FeasiblePoint> out;
+  for (const auto& p : lps_instances(max_p, max_q))
+    out.push_back({p.num_vertices(), p.radix(), p.name()});
+  return out;
+}
+
+std::vector<FeasiblePoint> feasible_slimfly(std::uint64_t max_q) {
+  std::vector<FeasiblePoint> out;
+  for (const auto& p : slimfly_instances(max_q))
+    out.push_back({p.num_vertices(), p.radix(), p.name()});
+  return out;
+}
+
+std::vector<FeasiblePoint> feasible_dragonfly(std::uint64_t max_a) {
+  std::vector<FeasiblePoint> out;
+  for (std::uint64_t a = 2; a <= max_a; ++a)
+    out.push_back({a * (a + 1), static_cast<std::uint32_t>(a),
+                   "DF(" + std::to_string(a) + ")"});
+  return out;
+}
+
+std::vector<FeasiblePoint> feasible_bundlefly(std::uint64_t max_p,
+                                              std::uint64_t max_s) {
+  std::vector<FeasiblePoint> out;
+  for (std::uint64_t p = 5; p <= max_p; ++p) {
+    if (!PaleyParams{p}.valid()) continue;
+    for (std::uint64_t s = 3; s <= max_s; ++s) {
+      BundleFlyParams params{p, s};
+      if (!MmsParams{s}.valid()) continue;
+      out.push_back({params.num_vertices(), params.radix(), params.name()});
+    }
+  }
+  return out;
+}
+
+}  // namespace sfly::topo

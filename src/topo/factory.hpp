@@ -1,0 +1,54 @@
+#pragma once
+// Unified construction across the four compared families, plus the paper's
+// Table-I size classes and the feasible-size enumerations of Fig. 4.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topo/bundlefly.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/lps.hpp"
+#include "topo/slimfly.hpp"
+
+namespace sfly::topo {
+
+struct Instance {
+  std::string name;
+  Graph graph;
+  std::uint32_t radix = 0;
+};
+
+[[nodiscard]] Instance make_lps(const LpsParams& p);
+[[nodiscard]] Instance make_slimfly(const SlimFlyParams& p);
+[[nodiscard]] Instance make_bundlefly(const BundleFlyParams& p);
+[[nodiscard]] Instance make_dragonfly(const DragonFlyParams& p);
+
+/// One row-group of Table I: four topologies of comparable radix and size.
+struct SizeClass {
+  LpsParams lps;
+  SlimFlyParams slimfly;
+  BundleFlyParams bundlefly;
+  std::uint64_t dragonfly_a = 0;
+};
+
+/// The paper's five size classes (~100 to ~7K routers):
+///   LPS(11,7)/SF(7)/BF(13,3)/DF(12) ... LPS(89,19)/SF(59)/BF(157,5)/DF(85).
+[[nodiscard]] std::vector<SizeClass> table1_classes();
+
+/// Feasible (vertices, radix) points per family for the Fig. 4 design-space
+/// plots.
+struct FeasiblePoint {
+  std::uint64_t vertices = 0;
+  std::uint32_t radix = 0;
+  std::string name;
+};
+[[nodiscard]] std::vector<FeasiblePoint> feasible_lps(std::uint64_t max_p,
+                                                      std::uint64_t max_q);
+[[nodiscard]] std::vector<FeasiblePoint> feasible_slimfly(std::uint64_t max_q);
+[[nodiscard]] std::vector<FeasiblePoint> feasible_dragonfly(std::uint64_t max_a);
+[[nodiscard]] std::vector<FeasiblePoint> feasible_bundlefly(std::uint64_t max_p,
+                                                            std::uint64_t max_s);
+
+}  // namespace sfly::topo

@@ -1,0 +1,69 @@
+#include "topo/jellyfish.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sfly::topo {
+
+Graph jellyfish_graph(const JellyfishParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("jellyfish_graph: need n > k >= 2 and n*k even");
+  const std::uint32_t n = params.routers, k = params.radix;
+  Rng rng(params.seed);
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Pairing model: shuffle n*k port stubs and pair consecutively.
+    std::vector<Vertex> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * k);
+    for (Vertex v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < k; ++i) stubs.push_back(v);
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+
+    std::set<std::pair<Vertex, Vertex>> used;
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    std::vector<std::pair<Vertex, Vertex>> bad;  // loops / duplicates
+    auto add = [&](Vertex a, Vertex b) {
+      auto key = std::minmax(a, b);
+      if (a == b || used.count({key.first, key.second})) {
+        bad.emplace_back(a, b);
+      } else {
+        used.insert({key.first, key.second});
+        edges.emplace_back(a, b);
+      }
+    };
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) add(stubs[i], stubs[i + 1]);
+
+    // Repair collisions by swapping with random good edges:
+    // (a,b)-bad + (c,d)-good -> (a,c),(b,d) when both are fresh.
+    int guard = 0;
+    while (!bad.empty() && guard < 100000 && !edges.empty()) {
+      ++guard;
+      auto [a, b] = bad.back();
+      std::size_t j = uniform_below(rng, edges.size());
+      auto [c, d] = edges[j];
+      auto k1 = std::minmax(a, c);
+      auto k2 = std::minmax(b, d);
+      if (a != c && b != d && k1.first != k1.second && k2.first != k2.second &&
+          !used.count({k1.first, k1.second}) && !used.count({k2.first, k2.second})) {
+        auto keycd = std::minmax(c, d);
+        used.erase({keycd.first, keycd.second});
+        edges[j] = {a, c};
+        used.insert({k1.first, k1.second});
+        edges.emplace_back(b, d);
+        used.insert({k2.first, k2.second});
+        bad.pop_back();
+      }
+    }
+    if (!bad.empty()) continue;  // rare; retry with fresh shuffle
+
+    Graph g = Graph::from_edges(n, std::move(edges));
+    std::uint32_t kk = 0;
+    if (g.is_regular(&kk) && kk == k) return g;
+  }
+  throw std::runtime_error("jellyfish_graph: failed to build a regular graph");
+}
+
+}  // namespace sfly::topo

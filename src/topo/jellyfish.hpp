@@ -1,0 +1,32 @@
+#pragma once
+// Jellyfish: uniformly random k-regular topology (Singla et al., NSDI'12).
+// Discussed in Section II as a strong-but-suboptimal spectral expander
+// ("sub-Ramanujan" by Friedman's theorem); included as a comparator for
+// the library's spectral tooling and examples.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+struct JellyfishParams {
+  std::uint32_t routers = 0;
+  std::uint32_t radix = 0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool valid() const {
+    return routers > radix && radix >= 2 &&
+           (static_cast<std::uint64_t>(routers) * radix) % 2 == 0;
+  }
+  [[nodiscard]] std::string name() const {
+    return "Jellyfish(" + std::to_string(routers) + "," + std::to_string(radix) + ")";
+  }
+};
+
+/// Random k-regular graph via the pairing model with edge-swap repair of
+/// collisions; always exactly radix-regular.
+[[nodiscard]] Graph jellyfish_graph(const JellyfishParams& params);
+
+}  // namespace sfly::topo

@@ -1,0 +1,68 @@
+#include "topo/lifts.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/metrics.hpp"
+#include "spectral/spectra.hpp"
+#include "util/rng.hpp"
+
+namespace sfly::topo {
+
+Graph random_lift(const Graph& base, std::uint32_t k, std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("random_lift: k >= 1");
+  const Vertex n = base.num_vertices();
+  GraphBuilder b(n * k);
+  Rng rng(seed);
+  std::vector<std::uint32_t> perm(k);
+  for (auto [u, v] : base.edge_list()) {
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (std::uint32_t i = 0; i < k; ++i)
+      b.add_edge(static_cast<Vertex>(u * k + i),
+                 static_cast<Vertex>(v * k + perm[i]));
+  }
+  return std::move(b).build();
+}
+
+Graph xpander_graph(const XpanderParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("xpander_graph: need degree >= 3, target > degree");
+  // Base: K_{d+1}, the unique (d+1)-vertex d-regular graph (trivially the
+  // best possible expander at its size).
+  const std::uint32_t d = params.degree;
+  GraphBuilder base_builder(d + 1);
+  for (Vertex i = 0; i <= d; ++i)
+    for (Vertex j = i + 1; j <= d; ++j) base_builder.add_edge(i, j);
+  Graph g = std::move(base_builder).build();
+
+  std::uint64_t step = 0;
+  while (g.num_vertices() < params.target_size) {
+    const std::uint32_t tries = std::max<std::uint32_t>(params.tries_per_lift, 1);
+    Graph best;
+    double best_lambda = 0.0;
+    for (std::uint32_t t = 0; t < tries + 8; ++t) {  // +8: connectivity retries
+      Graph cand = random_lift(g, 2, split_seed(params.seed, step * 113 + t));
+      if (!is_connected(cand)) continue;  // all-swap signings split the lift
+      if (params.tries_per_lift == 0) {
+        best = std::move(cand);
+        break;
+      }
+      double lambda = compute_spectra(cand).lambda;
+      if (best.num_vertices() == 0 || lambda < best_lambda) {
+        best_lambda = lambda;
+        best = std::move(cand);
+      }
+      if (t + 1 >= tries && best.num_vertices() != 0) break;
+    }
+    if (best.num_vertices() == 0)
+      throw std::runtime_error("xpander_graph: no connected lift found");
+    g = std::move(best);
+    ++step;
+  }
+  return g;
+}
+
+}  // namespace sfly::topo

@@ -1,0 +1,43 @@
+#pragma once
+// Graph lifts and the Xpander construction (Valadarsky et al.), which the
+// paper cites as the datacenter-oriented expander design built on
+// Bilu–Linial lifts.  A k-lift replaces every vertex with a fiber of k
+// copies and every edge with a permutation matching between fibers;
+// random lifts of a Ramanujan base are near-Ramanujan with high
+// probability, and selecting the best of several random lifts per step
+// (a light derandomization) keeps the spectral gap tight as the topology
+// is grown to arbitrary size at fixed degree.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+/// Random k-lift of `base`: n*k vertices; vertex (v, i) with fiber index
+/// i; each base edge {u,v} becomes the matching (u,i) ~ (v, pi(i)) for a
+/// uniformly random permutation pi.  Degree sequence is preserved.
+[[nodiscard]] Graph random_lift(const Graph& base, std::uint32_t k,
+                                std::uint64_t seed);
+
+struct XpanderParams {
+  std::uint32_t degree = 0;       // d: base graph is K_{d+1}
+  std::uint32_t target_size = 0;  // grow by 2-lifts until >= target routers
+  std::uint32_t tries_per_lift = 4;  // random lifts sampled per step; best
+                                     // spectral gap kept (0 = no selection)
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool valid() const { return degree >= 3 && target_size > degree; }
+  [[nodiscard]] std::string name() const {
+    return "Xpander(d=" + std::to_string(degree) +
+           ",n>=" + std::to_string(target_size) + ")";
+  }
+};
+
+/// Grow K_{d+1} by repeated 2-lifts (with best-of-`tries` spectral
+/// selection) until the vertex count reaches target_size.  Size is
+/// (d+1) * 2^j for some j.
+[[nodiscard]] Graph xpander_graph(const XpanderParams& params);
+
+}  // namespace sfly::topo

@@ -1,0 +1,138 @@
+#include "topo/lps.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "nt/numtheory.hpp"
+
+namespace sfly::topo {
+namespace {
+
+// 2x2 matrix over F_q. Entries in [0, q).
+struct Mat {
+  std::uint32_t a, b, c, d;
+};
+
+// Canonical representative of the projective class {x*M : x != 0}:
+// scale so the first nonzero entry (scanning a,b,c,d) equals 1.
+Mat canonicalize(Mat m, std::uint64_t q) {
+  std::uint32_t lead = m.a ? m.a : m.b ? m.b : m.c ? m.c : m.d;
+  if (lead == 0) throw std::logic_error("lps: zero matrix");
+  if (lead == 1) return m;
+  std::uint64_t inv = nt::invmod(lead, q);
+  auto scale = [&](std::uint32_t x) {
+    return static_cast<std::uint32_t>(nt::mulmod(x, inv, q));
+  };
+  return {scale(m.a), scale(m.b), scale(m.c), scale(m.d)};
+}
+
+std::uint64_t key_of(const Mat& m, std::uint64_t q) {
+  return ((static_cast<std::uint64_t>(m.a) * q + m.b) * q + m.c) * q + m.d;
+}
+
+Mat multiply(const Mat& x, const Mat& y, std::uint64_t q) {
+  auto mac = [&](std::uint32_t p1, std::uint32_t p2, std::uint32_t p3,
+                 std::uint32_t p4) {
+    return static_cast<std::uint32_t>(
+        (nt::mulmod(p1, p2, q) + nt::mulmod(p3, p4, q)) % q);
+  };
+  return {mac(x.a, y.a, x.b, y.c), mac(x.a, y.b, x.b, y.d),
+          mac(x.c, y.a, x.d, y.c), mac(x.c, y.b, x.d, y.d)};
+}
+
+}  // namespace
+
+bool LpsParams::valid() const {
+  return p != q && p > 2 && q > 2 && nt::is_prime(p) && nt::is_prime(q);
+}
+
+bool LpsParams::is_ramanujan_range() const {
+  return valid() && static_cast<double>(q) > 2.0 * std::sqrt(static_cast<double>(p));
+}
+
+bool LpsParams::uses_psl() const { return nt::legendre(static_cast<nt::i64>(p), q) == 1; }
+
+std::uint64_t LpsParams::num_vertices() const {
+  const std::uint64_t pgl_order = q * q * q - q;  // |PGL(2,F_q)| = q^3 - q
+  return uses_psl() ? pgl_order / 2 : pgl_order;
+}
+
+std::string LpsParams::name() const {
+  return "LPS(" + std::to_string(p) + "," + std::to_string(q) + ")";
+}
+
+Graph lps_graph(const LpsParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("lps_graph: p, q must be distinct odd primes");
+  const std::uint64_t p = params.p, q = params.q;
+
+  // Build the generator set S from the four-square representations of p
+  // and a solution of x^2 + y^2 + 1 = 0 (mod q).
+  const auto [x, y] = nt::solve_x2_y2_plus1(q);
+  auto reduce = [&](nt::i64 v) {
+    nt::i64 m = v % static_cast<nt::i64>(q);
+    if (m < 0) m += static_cast<nt::i64>(q);
+    return static_cast<std::uint32_t>(m);
+  };
+  std::vector<Mat> gens;
+  for (const auto& s : nt::lps_four_squares(p)) {
+    const nt::i64 ix = static_cast<nt::i64>(x), iy = static_cast<nt::i64>(y);
+    Mat g{reduce(s.a0 + s.a1 * ix + s.a3 * iy),
+          reduce(-s.a1 * iy + s.a2 + s.a3 * ix),
+          reduce(-s.a1 * iy - s.a2 + s.a3 * ix),
+          reduce(s.a0 - s.a1 * ix - s.a3 * iy)};
+    gens.push_back(canonicalize(g, q));
+  }
+
+  // Closure from the identity under right multiplication (BFS order).
+  // When (p|q) = 1 the generators lie in PSL and the closure is exactly
+  // the PSL coset graph; when (p|q) = -1 it is all of PGL.
+  std::unordered_map<std::uint64_t, Vertex> id_of;
+  const std::uint64_t expected_n = params.num_vertices();
+  id_of.reserve(expected_n * 2);
+  std::vector<Mat> frontier_storage;
+  frontier_storage.reserve(expected_n);
+
+  Mat identity{1, 0, 0, 1};
+  id_of.emplace(key_of(identity, q), 0);
+  frontier_storage.push_back(identity);
+
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(expected_n * (p + 1) / 2 + 1);
+  for (std::size_t head = 0; head < frontier_storage.size(); ++head) {
+    const Mat u = frontier_storage[head];  // copy: storage may reallocate
+    const Vertex uid = static_cast<Vertex>(head);
+    for (const Mat& s : gens) {
+      Mat v = canonicalize(multiply(u, s, q), q);
+      const std::uint64_t k = key_of(v, q);
+      auto [it, inserted] = id_of.emplace(k, static_cast<Vertex>(frontier_storage.size()));
+      if (inserted) frontier_storage.push_back(v);
+      const Vertex vid = it->second;
+      if (uid < vid) edges.emplace_back(uid, vid);
+    }
+  }
+
+  if (frontier_storage.size() != expected_n)
+    throw std::logic_error("lps_graph: closure size mismatch vs (3-(p|q))(q^3-q)/4");
+
+  Graph g = Graph::from_edges(static_cast<Vertex>(expected_n), std::move(edges));
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k) || k != params.radix())
+    throw std::logic_error("lps_graph: not (p+1)-regular; parameters outside the "
+                           "simple-graph regime (need q > 2*sqrt(p))");
+  return g;
+}
+
+std::vector<LpsParams> lps_instances(std::uint64_t max_p, std::uint64_t max_q) {
+  std::vector<LpsParams> out;
+  for (std::uint64_t p : nt::primes_in(3, max_p))
+    for (std::uint64_t q : nt::primes_in(3, max_q)) {
+      LpsParams params{p, q};
+      if (p != q && params.is_ramanujan_range()) out.push_back(params);
+    }
+  return out;
+}
+
+}  // namespace sfly::topo

@@ -1,0 +1,50 @@
+#pragma once
+// LPS (Lubotzky–Phillips–Sarnak) Ramanujan graphs — the topology underlying
+// SpectralFly (Definition 3 of the paper).
+//
+// LPS(p,q), for distinct odd primes with q > 2*sqrt(p), is the Cayley graph
+// of PSL(2,F_q) (when the Legendre symbol (p|q) = 1) or PGL(2,F_q) (when
+// (p|q) = -1) under p+1 generators derived from the four-square
+// representations of p.  It is (p+1)-regular, vertex-transitive, and
+// Ramanujan.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+struct LpsParams {
+  std::uint64_t p = 0;
+  std::uint64_t q = 0;
+
+  /// Distinct odd primes. (The Ramanujan guarantee additionally needs
+  /// q > 2*sqrt(p); `is_ramanujan_range()` reports that.)
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] bool is_ramanujan_range() const;
+
+  /// Radix p+1 and closed-form vertex count (3 - (p|q)) * (q^3 - q) / 4.
+  [[nodiscard]] std::uint32_t radix() const { return static_cast<std::uint32_t>(p + 1); }
+  [[nodiscard]] std::uint64_t num_vertices() const;
+
+  /// True when (p|q) = 1 (group PSL, half of PGL); else PGL.
+  [[nodiscard]] bool uses_psl() const;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Generate LPS(p,q).  Vertices are numbered in BFS order from the group
+/// identity, which matches the "essentially unstructured ordering" the
+/// paper uses for endpoint allocation (Section VI-B).  Throws on invalid
+/// parameters; the result is validated against the closed-form vertex
+/// count and radix.
+[[nodiscard]] Graph lps_graph(const LpsParams& params);
+
+/// All valid LPS parameter pairs with p,q below the given bounds
+/// (Ramanujan range only) — the design-space sweep of Fig. 4.
+[[nodiscard]] std::vector<LpsParams> lps_instances(std::uint64_t max_p,
+                                                   std::uint64_t max_q);
+
+}  // namespace sfly::topo

@@ -1,0 +1,30 @@
+#include "topo/margulis.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sfly::topo {
+
+Graph margulis_graph(const MargulisParams& params) {
+  if (!params.valid()) throw std::invalid_argument("margulis_graph: n >= 2");
+  const std::uint64_t n = params.n;
+  GraphBuilder b(static_cast<Vertex>(n * n));
+  auto id = [&](std::uint64_t x, std::uint64_t y) {
+    return static_cast<Vertex>(x * n + y);
+  };
+  // Gabber–Galil generator maps; together with their inverses they give
+  // the 8-regular multigraph whose simple quotient we return (small n can
+  // collapse parallel edges — degree is then < 8, which is fine for the
+  // expander property).
+  for (std::uint64_t x = 0; x < n; ++x)
+    for (std::uint64_t y = 0; y < n; ++y) {
+      b.add_edge(id(x, y), id((x + 2 * y) % n, y));
+      b.add_edge(id(x, y), id((x + 2 * y + 1) % n, y));
+      b.add_edge(id(x, y), id(x, (y + 2 * x) % n));
+      b.add_edge(id(x, y), id(x, (y + 2 * x + 1) % n));
+    }
+  return std::move(b).build();
+}
+
+}  // namespace sfly::topo

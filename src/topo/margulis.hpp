@@ -1,0 +1,30 @@
+#pragma once
+// The Margulis / Gabber–Galil expander family (Section III mentions
+// Margulis' construction as the other original explicit expander family
+// alongside LPS).  Vertices are Z_n x Z_n; each vertex connects through
+// eight affine maps; the result is a simple graph of degree <= 8 with
+// second eigenvalue bounded by 5*sqrt(2) ~ 7.07 < 8 (a strong, though not
+// Ramanujan, expander).
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+struct MargulisParams {
+  std::uint32_t n = 0;  // side of the Z_n x Z_n torus of vertices
+
+  [[nodiscard]] bool valid() const { return n >= 2; }
+  [[nodiscard]] std::uint64_t num_vertices() const {
+    return static_cast<std::uint64_t>(n) * n;
+  }
+  [[nodiscard]] std::string name() const {
+    return "Margulis(" + std::to_string(n) + ")";
+  }
+};
+
+[[nodiscard]] Graph margulis_graph(const MargulisParams& params);
+
+}  // namespace sfly::topo

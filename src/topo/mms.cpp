@@ -1,0 +1,95 @@
+#include "topo/mms.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gf/galois.hpp"
+#include "graph/builder.hpp"
+#include "nt/numtheory.hpp"
+
+namespace sfly::topo {
+
+bool MmsParams::valid() const {
+  auto pk = nt::prime_power(q);
+  return pk.has_value() && q % 4 != 2 && q >= 3;
+}
+
+int MmsParams::delta() const {
+  switch (q % 4) {
+    case 1: return 1;
+    case 3: return -1;
+    default: return 0;  // q even prime power
+  }
+}
+
+Graph mms_graph(const MmsParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("mms_graph: q must be a prime power, q mod 4 != 2");
+  const std::uint64_t q = params.q;
+  const int delta = params.delta();
+  gf::Field f(q);
+
+  // Hafner generator sets as primitive-element exponent sets:
+  //  delta = +1 (q = 4k+1): X1 = even exponents {0,2,...,q-3} (the QRs;
+  //      symmetric since -1 is a square), X2 = xi*X1 (the non-residues).
+  //  delta = -1 (q = 4k-1): X1 = {xi^(2i), -xi^(2i) : 0 <= i < k}.  Since
+  //      -1 = xi^(2k-1), this is exponents {0,2,...,2k-2} u {2k-1,...,4k-3}
+  //      — symmetric by construction.  X2 = xi*X1.
+  //  delta =  0 (q = 4k, char 2): X1 = even exponents {0,2,...,4k-2}
+  //      (order q-1 is odd so these are q/2 distinct values; x = -x in
+  //      char 2 makes every set symmetric).  X2 = xi*X1.
+  std::vector<bool> in_x1(q, false), in_x2(q, false);
+  std::vector<std::uint64_t> exps;
+  if (delta == 1) {
+    for (std::uint64_t i = 0; 2 * i <= q - 3; ++i) exps.push_back(2 * i);
+  } else if (delta == -1) {
+    const std::uint64_t k = (q + 1) / 4;
+    for (std::uint64_t i = 0; i < k; ++i) exps.push_back(2 * i);
+    for (std::uint64_t i = 0; i < k; ++i) exps.push_back((2 * i + 2 * k - 1) % (q - 1));
+  } else {
+    for (std::uint64_t i = 0; i < q / 2; ++i) exps.push_back(2 * i);
+  }
+  for (std::uint64_t e : exps) {
+    in_x1[f.pow_primitive(e)] = true;
+    in_x2[f.mul(f.primitive(), f.pow_primitive(e))] = true;
+  }
+
+  // Symmetry sanity check (required for an undirected graph).
+  for (std::uint64_t a = 1; a < q; ++a) {
+    auto ea = static_cast<gf::Field::Elt>(a);
+    if (in_x1[a] != in_x1[f.neg(ea)] || in_x2[a] != in_x2[f.neg(ea)])
+      throw std::logic_error("mms_graph: generator set not symmetric");
+  }
+
+  const Vertex n = static_cast<Vertex>(2 * q * q);
+  GraphBuilder builder(n);
+  auto vid = [&](std::uint64_t level, std::uint64_t col, std::uint64_t row) {
+    return static_cast<Vertex>(level * q * q + col * q + row);
+  };
+
+  // Intra-column Cayley edges on both levels.
+  for (std::uint64_t col = 0; col < q; ++col)
+    for (std::uint64_t r1 = 0; r1 < q; ++r1)
+      for (std::uint64_t r2 = r1 + 1; r2 < q; ++r2) {
+        auto dcol = f.sub(static_cast<gf::Field::Elt>(r1), static_cast<gf::Field::Elt>(r2));
+        if (in_x1[dcol]) builder.add_edge(vid(0, col, r1), vid(0, col, r2));
+        if (in_x2[dcol]) builder.add_edge(vid(1, col, r1), vid(1, col, r2));
+      }
+
+  // Cross edges: (0,x,y) ~ (1,m,c) iff y = m*x + c.
+  for (std::uint64_t x = 0; x < q; ++x)
+    for (std::uint64_t m = 0; m < q; ++m)
+      for (std::uint64_t c = 0; c < q; ++c) {
+        auto y = f.add(f.mul(static_cast<gf::Field::Elt>(m), static_cast<gf::Field::Elt>(x)),
+                       static_cast<gf::Field::Elt>(c));
+        builder.add_edge(vid(0, x, y), vid(1, m, c));
+      }
+
+  Graph g = std::move(builder).build();
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k) || k != params.radix())
+    throw std::logic_error("mms_graph: radix mismatch");
+  return g;
+}
+
+}  // namespace sfly::topo

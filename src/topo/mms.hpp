@@ -1,0 +1,38 @@
+#pragma once
+// McKay–Miller–Širáň (MMS) graphs — the construction underlying SlimFly
+// (Besta & Hoefler, SC'14) and the star factor of BundleFly.
+//
+// For a prime power q = 4k + delta with delta in {-1, 0, 1}, the MMS graph
+// H(q) has vertex set {0,1} x F_q x F_q (two "levels" of q columns of q
+// vertices) and edges
+//    (0,x,y) ~ (0,x,y')  iff  y - y' in X1,
+//    (1,m,c) ~ (1,m,c')  iff  c - c' in X2,
+//    (0,x,y) ~ (1,m,c)   iff  y = m*x + c,
+// where X1 (size (q-delta)/2, symmetric) and X2 = xi*X1 are generator sets
+// built from a primitive element xi (Hafner's geometric description).
+// H(q) is (3q-delta)/2-regular on 2q^2 vertices with diameter 2.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+struct MmsParams {
+  std::uint64_t q = 0;
+
+  /// q must be a prime power with q mod 4 in {0, 1, 3} (i.e. q != 2).
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] int delta() const;  // q = 4k + delta
+  [[nodiscard]] std::uint64_t num_vertices() const { return 2 * q * q; }
+  [[nodiscard]] std::uint32_t radix() const {
+    return static_cast<std::uint32_t>((3 * q - delta()) / 2);
+  }
+  [[nodiscard]] std::string name() const { return "MMS(" + std::to_string(q) + ")"; }
+};
+
+/// Vertex numbering: level*q^2 + column*q + row.
+[[nodiscard]] Graph mms_graph(const MmsParams& params);
+
+}  // namespace sfly::topo

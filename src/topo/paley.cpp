@@ -1,0 +1,32 @@
+#include "topo/paley.hpp"
+
+#include <stdexcept>
+
+#include "gf/galois.hpp"
+#include "graph/builder.hpp"
+#include "nt/numtheory.hpp"
+
+namespace sfly::topo {
+
+bool PaleyParams::valid() const {
+  return nt::prime_power(q).has_value() && q % 4 == 1;
+}
+
+Graph paley_graph(const PaleyParams& params) {
+  if (!params.valid())
+    throw std::invalid_argument("paley_graph: q must be a prime power = 1 mod 4");
+  const std::uint64_t q = params.q;
+  gf::Field f(q);
+  GraphBuilder b(static_cast<Vertex>(q));
+  for (std::uint64_t x = 0; x < q; ++x)
+    for (std::uint64_t y = x + 1; y < q; ++y)
+      if (f.is_square(f.sub(static_cast<gf::Field::Elt>(x), static_cast<gf::Field::Elt>(y))))
+        b.add_edge(static_cast<Vertex>(x), static_cast<Vertex>(y));
+  Graph g = std::move(b).build();
+  std::uint32_t k = 0;
+  if (!g.is_regular(&k) || k != params.radix())
+    throw std::logic_error("paley_graph: radix mismatch");
+  return g;
+}
+
+}  // namespace sfly::topo

@@ -1,0 +1,27 @@
+#pragma once
+// Paley graphs: vertices F_q (q = 1 mod 4 a prime power), x ~ y iff x - y
+// is a nonzero square.  (q-1)/2-regular, self-complementary, strongly
+// regular.  Used as the intra-bundle factor of BundleFly.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfly::topo {
+
+struct PaleyParams {
+  std::uint64_t q = 0;
+
+  /// q must be a prime power with q = 1 (mod 4) so that -1 is a square and
+  /// the adjacency relation is symmetric.
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] std::uint32_t radix() const {
+    return static_cast<std::uint32_t>((q - 1) / 2);
+  }
+  [[nodiscard]] std::string name() const { return "Paley(" + std::to_string(q) + ")"; }
+};
+
+[[nodiscard]] Graph paley_graph(const PaleyParams& params);
+
+}  // namespace sfly::topo

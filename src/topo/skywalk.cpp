@@ -1,0 +1,87 @@
+#include "topo/skywalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sfly::topo {
+
+SkyWalkInstance skywalk_graph(const SkyWalkParams& params) {
+  if (params.routers < 2 || params.radix == 0 ||
+      params.radix >= params.routers)
+    throw std::invalid_argument("skywalk_graph: bad parameters");
+  const std::uint32_t n = params.routers;
+
+  SkyWalkInstance out;
+  out.placement.grid = layout::CabinetGrid::for_routers(n);
+  out.placement.cabinet_of.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v)
+    out.placement.cabinet_of[v] = v / out.placement.grid.routers_per_cabinet;
+
+  Rng rng(params.seed);
+  std::vector<std::uint32_t> free_ports(n, params.radix);
+  std::set<std::pair<Vertex, Vertex>> used;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  auto try_add = [&](Vertex u, Vertex v) {
+    if (u == v || free_ports[u] == 0 || free_ports[v] == 0) return false;
+    auto key = std::minmax(u, v);
+    if (used.count({key.first, key.second})) return false;
+    used.insert({key.first, key.second});
+    edges.emplace_back(u, v);
+    --free_ports[u];
+    --free_ports[v];
+    return true;
+  };
+
+  // Distance-biased sampling: for each router in random order, fill its
+  // ports by roulette-wheel over remaining routers weighted by
+  // 1/(1+d)^alpha where d is the rectilinear cable length.
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<double> weight(n);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (Vertex u : order) {
+    int guard = 0;
+    while (free_ports[u] > 0 && guard < 4 * static_cast<int>(params.radix)) {
+      ++guard;
+      double total = 0.0;
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == u || free_ports[v] == 0) {
+          weight[v] = 0.0;
+          continue;
+        }
+        double d = out.placement.wire_length(u, v);
+        weight[v] = std::pow(1.0 + d, -params.alpha);
+        total += weight[v];
+      }
+      if (total == 0.0) break;
+      double pick = unit(rng) * total;
+      Vertex chosen = u;
+      for (Vertex v = 0; v < n; ++v) {
+        pick -= weight[v];
+        if (pick <= 0.0 && weight[v] > 0.0) {
+          chosen = v;
+          break;
+        }
+      }
+      try_add(u, chosen);
+    }
+  }
+
+  // Repair pass: pair any leftover free ports uniformly.
+  std::vector<Vertex> leftovers;
+  for (Vertex v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < free_ports[v]; ++i) leftovers.push_back(v);
+  std::shuffle(leftovers.begin(), leftovers.end(), rng);
+  for (std::size_t i = 0; i + 1 < leftovers.size(); i += 2)
+    try_add(leftovers[i], leftovers[i + 1]);
+
+  out.graph = Graph::from_edges(n, std::move(edges));
+  return out;
+}
+
+}  // namespace sfly::topo

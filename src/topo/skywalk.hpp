@@ -1,0 +1,38 @@
+#pragma once
+// SkyWalk-style layout-aware random topology (Fujiwara, Koibuchi,
+// Matsutani, Casanova, IPDPS'14) — the latency-minimizing comparator of
+// Section VII.
+//
+// Substitution note (see DESIGN.md): we reproduce the published recipe's
+// essence — a k-regular random shortcut topology whose link lengths are
+// drawn with cable-length awareness on the machine-room cabinet grid —
+// rather than the exact SkyWalk generator, which the paper itself
+// instantiates randomly 20 times and averages.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "layout/cabinets.hpp"
+
+namespace sfly::topo {
+
+struct SkyWalkParams {
+  std::uint32_t routers = 0;
+  std::uint32_t radix = 0;
+  std::uint64_t seed = 1;
+  /// Distance bias exponent: partner cabinets are sampled with probability
+  /// proportional to 1/(1+metres)^alpha.  alpha = 0 degrades to Jellyfish.
+  double alpha = 1.0;
+};
+
+struct SkyWalkInstance {
+  Graph graph;
+  layout::Placement placement;  // routers packed 2-per-cabinet in id order
+};
+
+/// Generate one instance. Regular of degree `radix` up to parity remainders
+/// (a final repair pass connects leftover port pairs).
+[[nodiscard]] SkyWalkInstance skywalk_graph(const SkyWalkParams& params);
+
+}  // namespace sfly::topo

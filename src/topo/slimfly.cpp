@@ -1,0 +1,14 @@
+#include "topo/slimfly.hpp"
+
+namespace sfly::topo {
+
+std::vector<SlimFlyParams> slimfly_instances(std::uint64_t max_q) {
+  std::vector<SlimFlyParams> out;
+  for (std::uint64_t q = 3; q <= max_q; ++q) {
+    SlimFlyParams params{q};
+    if (params.valid()) out.push_back(params);
+  }
+  return out;
+}
+
+}  // namespace sfly::topo

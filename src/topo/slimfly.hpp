@@ -1,0 +1,30 @@
+#pragma once
+// SlimFly SF(q) — the MMS graph interpreted as an interconnect (Besta &
+// Hoefler, SC'14): 2q^2 routers of radix (3q-delta)/2 and diameter 2.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topo/mms.hpp"
+
+namespace sfly::topo {
+
+struct SlimFlyParams {
+  std::uint64_t q = 0;
+
+  [[nodiscard]] bool valid() const { return MmsParams{q}.valid(); }
+  [[nodiscard]] std::uint64_t num_vertices() const { return 2 * q * q; }
+  [[nodiscard]] std::uint32_t radix() const { return MmsParams{q}.radix(); }
+  [[nodiscard]] std::string name() const { return "SF(" + std::to_string(q) + ")"; }
+};
+
+[[nodiscard]] inline Graph slimfly_graph(const SlimFlyParams& params) {
+  return mms_graph(MmsParams{params.q});
+}
+
+/// All feasible SlimFly parameters with q <= max_q (prime powers, q%4 != 2).
+[[nodiscard]] std::vector<SlimFlyParams> slimfly_instances(std::uint64_t max_q);
+
+}  // namespace sfly::topo

@@ -1,0 +1,19 @@
+#pragma once
+// Thin OpenMP helpers. The library builds and runs correctly without
+// OpenMP; pragmas degrade to serial loops.
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace sfly {
+
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace sfly

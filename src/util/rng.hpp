@@ -1,0 +1,31 @@
+#pragma once
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the library (edge-failure sampling, Valiant
+// intermediate selection, SkyWalk/JellyFish generation, QAP annealing,
+// Poisson traffic) takes an explicit seed so experiments are reproducible
+// run-to-run and across machines.
+
+#include <cstdint>
+#include <random>
+
+namespace sfly {
+
+using Rng = std::mt19937_64;
+
+/// Derive a stream-independent child seed from a base seed and a stream id.
+/// (SplitMix64 finalizer; avoids correlated streams when a parallel loop
+/// seeds one RNG per trial.)
+inline std::uint64_t split_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform integer in [0, n). Requires n > 0.
+inline std::uint64_t uniform_below(Rng& rng, std::uint64_t n) {
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(rng);
+}
+
+}  // namespace sfly

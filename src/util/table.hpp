@@ -1,0 +1,31 @@
+#pragma once
+// Console table printer used by the benchmark harnesses to emit
+// paper-style rows (Table I, Table II, and the per-figure series).
+
+#include <string>
+#include <vector>
+
+namespace sfly {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; each cell is preformatted text.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns to a string (includes header underline).
+  [[nodiscard]] std::string str() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+  /// Helper: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sfly

@@ -1,0 +1,205 @@
+// Tests for the analytics extensions: edge connectivity (max-flow),
+// betweenness centrality, discrepancy sampling, path diversity, and
+// graph I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/betweenness.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/io.hpp"
+#include "routing/diversity.hpp"
+#include "spectral/discrepancy.hpp"
+#include "topo/classic.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/lps.hpp"
+#include "topo/slimfly.hpp"
+
+namespace sfly {
+namespace {
+
+// ---------------- connectivity ----------------
+
+TEST(Connectivity, MaxFlowOnPathIsOne) {
+  auto g = topo::path_graph_topo(5);
+  EXPECT_EQ(max_flow_unit(g, 0, 4), 1u);
+}
+
+TEST(Connectivity, MaxFlowOnCompleteGraph) {
+  auto g = topo::complete_graph_topo(6);
+  EXPECT_EQ(max_flow_unit(g, 0, 5), 5u);  // K6: 5 edge-disjoint paths
+}
+
+TEST(Connectivity, CycleIsTwoConnected) {
+  EXPECT_EQ(edge_connectivity(topo::cycle_graph_topo(12)), 2u);
+}
+
+TEST(Connectivity, BridgeGivesOne) {
+  // Two triangles joined by a bridge.
+  auto g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  EXPECT_EQ(edge_connectivity(g), 1u);
+}
+
+TEST(Connectivity, DisconnectedIsZero) {
+  auto g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(edge_connectivity(g), 0u);
+}
+
+TEST(Connectivity, LpsHasOptimalEdgeConnectivity) {
+  // The paper: LPS graphs have optimal edge-connectivity (= radix).
+  auto g = topo::lps_graph({3, 5});
+  EXPECT_EQ(edge_connectivity(g, /*sample=*/24), 4u);
+}
+
+TEST(Connectivity, SlimFlyAlsoOptimal) {
+  auto g = topo::slimfly_graph({5});
+  EXPECT_EQ(edge_connectivity(g, /*sample=*/16), 7u);
+}
+
+// ---------------- betweenness ----------------
+
+TEST(Betweenness, StarCenterDominates) {
+  // K_{1,4}: center lies on all C(4,2) = 6 pairs.
+  auto g = Graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto bc = betweenness_centrality(g);
+  EXPECT_NEAR(bc[0], 6.0, 1e-9);
+  for (Vertex v = 1; v < 5; ++v) EXPECT_NEAR(bc[v], 0.0, 1e-9);
+}
+
+TEST(Betweenness, PathInteriorValues) {
+  // P4 (0-1-2-3): bc(1) = pairs {0,2},{0,3} = 2; symmetric for 2.
+  auto g = topo::path_graph_topo(4);
+  auto bc = betweenness_centrality(g);
+  EXPECT_NEAR(bc[1], 2.0, 1e-9);
+  EXPECT_NEAR(bc[2], 2.0, 1e-9);
+  EXPECT_NEAR(bc[0], 0.0, 1e-9);
+}
+
+TEST(Betweenness, FractionalSplitOnCycle) {
+  // C4: opposite pairs have two shortest paths; each midpoint gets 1/2.
+  auto g = topo::cycle_graph_topo(4);
+  auto bc = betweenness_centrality(g);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_NEAR(bc[v], 0.5, 1e-9);
+}
+
+TEST(Betweenness, VertexTransitiveIsFlat) {
+  // LPS betweenness is identical everywhere (Section V's bottleneck
+  // discussion); imbalance = max/mean = 1.
+  auto s = betweenness_summary(topo::lps_graph({3, 5}));
+  EXPECT_NEAR(s.imbalance, 1.0, 1e-6);
+  EXPECT_NEAR(s.min, s.max, 1e-6);
+}
+
+TEST(Betweenness, FatTreeIsNotFlat) {
+  auto s = betweenness_summary(topo::fat_tree_graph(4));
+  EXPECT_GT(s.imbalance, 1.2);
+}
+
+// ---------------- discrepancy ----------------
+
+TEST(Discrepancy, MixingLemmaHolds) {
+  for (auto make : {+[] { return topo::lps_graph({5, 7}); },
+                    +[] { return topo::slimfly_graph({7}); }}) {
+    auto g = make();
+    auto r = measure_discrepancy(g, 100, 0.25, 3);
+    EXPECT_GT(r.max_observed, 0.0);
+    EXPECT_LE(r.max_observed, r.lambda_bound + 1e-9)
+        << "expander mixing lemma violated?!";
+  }
+}
+
+TEST(Discrepancy, LpsTighterThanDragonFly) {
+  // The discrepancy property: the Ramanujan topology's worst subset pair
+  // deviates far less than DragonFly's (whose lambda is near k).
+  auto lps = measure_discrepancy(topo::lps_graph({11, 7}), 150, 0.25, 5);
+  auto df = measure_discrepancy(
+      topo::dragonfly_graph(topo::DragonFlyParams::canonical(12)), 150, 0.25, 5);
+  EXPECT_LT(lps.lambda_bound, df.lambda_bound);
+  EXPECT_LT(lps.max_observed, df.max_observed);
+}
+
+TEST(Discrepancy, RequiresRegular) {
+  auto g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(measure_discrepancy(g), std::invalid_argument);
+}
+
+// ---------------- path diversity ----------------
+
+TEST(Diversity, CycleHasSinglePaths) {
+  auto g = topo::cycle_graph_topo(9);  // odd: all pairs unique shortest path
+  auto t = routing::Tables::build(g);
+  auto d = path_diversity(g, t);
+  EXPECT_NEAR(d.single_path_frac, 1.0, 1e-9);
+  EXPECT_NEAR(d.mean_paths, 1.0, 1e-9);
+  EXPECT_NEAR(d.mean_next_hops, 1.0, 1e-9);
+}
+
+TEST(Diversity, HypercubeFactorial) {
+  // Q3: antipodal pairs have 3! = 6 shortest paths.
+  auto g = topo::hypercube_graph(3);
+  auto sigma = routing::shortest_path_counts(g, 0);
+  EXPECT_DOUBLE_EQ(sigma[7], 6.0);
+  EXPECT_DOUBLE_EQ(sigma[3], 2.0);
+  EXPECT_DOUBLE_EQ(sigma[1], 1.0);
+}
+
+TEST(Diversity, LpsRicherThanSlimFly) {
+  // SlimFly's diameter-2 pairs mostly have a unique shortest path; LPS
+  // pairs see genuine multiplicity — the paper's path-diversity argument.
+  auto lps = topo::lps_graph({11, 7});
+  auto sf = topo::slimfly_graph({7});
+  auto t_lps = routing::Tables::build(lps);
+  auto t_sf = routing::Tables::build(sf);
+  auto d_lps = path_diversity(lps, t_lps);
+  auto d_sf = path_diversity(sf, t_sf);
+  EXPECT_GT(d_lps.mean_paths, d_sf.mean_paths);
+  EXPECT_LT(d_lps.single_path_frac, d_sf.single_path_frac);
+}
+
+// ---------------- I/O ----------------
+
+TEST(GraphIo, RoundTripThroughStreams) {
+  auto g = topo::lps_graph({3, 5});
+  std::stringstream ss;
+  write_edge_list(ss, g, "LPS(3,5)");
+  auto h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, RejectsMalformed) {
+  std::stringstream bad1("nonsense");
+  EXPECT_THROW(read_edge_list(bad1), std::runtime_error);
+  std::stringstream bad2("4 2\n0 1\n");  // promised 2 edges, gave 1
+  EXPECT_THROW(read_edge_list(bad2), std::runtime_error);
+}
+
+TEST(GraphIo, CommentsIgnored) {
+  std::stringstream ss("# hello\n3 2\n0 1\n# middle\n1 2\n");
+  auto g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, DotContainsEdges) {
+  auto g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  std::stringstream ss;
+  write_dot(ss, g, "test");
+  auto s = ss.str();
+  EXPECT_NE(s.find("graph test {"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(s.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  auto g = topo::slimfly_graph({5});
+  const std::string path = ::testing::TempDir() + "/sf5.edges";
+  save_edge_list(path, g, "SF(5)");
+  auto h = load_edge_list(path);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+  EXPECT_THROW(load_edge_list("/nonexistent/nope.edges"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,119 @@
+#include "topo/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.hpp"
+#include "spectral/spectra.hpp"
+
+namespace sfly::topo {
+namespace {
+
+TEST(Classic, TorusThreeDim) {
+  auto g = torus_graph({4, 4, 4});
+  EXPECT_EQ(g.num_vertices(), 64u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(distance_stats(g).diameter, 6);  // 3 * floor(4/2)
+  EXPECT_EQ(girth(g), 4u);
+}
+
+TEST(Classic, TorusMixedRadix) {
+  auto g = torus_graph({3, 5});
+  EXPECT_EQ(g.num_vertices(), 15u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 4u);
+  EXPECT_EQ(girth(g), 3u);  // the 3-extent dimension gives triangles
+}
+
+TEST(Classic, TorusExtentTwoCollapses) {
+  // Extent-2 dims contribute one link, not a doubled 2-cycle.
+  auto g = torus_graph({2, 2});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 2u);  // C4
+}
+
+TEST(Classic, TorusRejectsBadDims) {
+  EXPECT_THROW(torus_graph({}), std::invalid_argument);
+  EXPECT_THROW(torus_graph({4, 1}), std::invalid_argument);
+}
+
+class HypercubeDims : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HypercubeDims, StructureInvariants) {
+  const unsigned d = GetParam();
+  auto g = hypercube_graph(d);
+  EXPECT_EQ(g.num_vertices(), 1u << d);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, d);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(distance_stats(g).diameter, static_cast<std::int32_t>(d));
+  // Hypercube spectral gap: lambda2 = d - 2, far from Ramanujan for large d
+  // (the survey's point about classic topologies).
+  auto s = compute_spectra(g);
+  EXPECT_NEAR(s.lambda2, static_cast<double>(d) - 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HypercubeDims, ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(Classic, FlattenedButterfly) {
+  auto g = flattened_butterfly_graph(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 3u + 5u);
+  EXPECT_EQ(distance_stats(g).diameter, 2);  // row hop + column hop
+  EXPECT_EQ(girth(g), 3u);
+}
+
+TEST(Classic, FatTreeStructure) {
+  const std::uint32_t k = 4;
+  auto g = fat_tree_graph(k);
+  EXPECT_EQ(g.num_vertices(), k * k + k * k / 4);  // 16 pod + 4 core
+  EXPECT_TRUE(is_connected(g));
+  // Core switches have degree k (one per pod); edge switches k/2 up-links.
+  for (Vertex v = 0; v < k * k / 4; ++v) EXPECT_EQ(g.degree(v), k);
+  EXPECT_TRUE(is_bipartite(g));  // three-level Clos has no odd cycles
+  EXPECT_LE(distance_stats(g).diameter, 4);
+}
+
+TEST(Classic, FatTreeRejectsOddK) {
+  EXPECT_THROW(fat_tree_graph(5), std::invalid_argument);
+}
+
+TEST(Classic, CompleteAndBipartite) {
+  auto kn = complete_graph_topo(9);
+  EXPECT_EQ(kn.num_edges(), 36u);
+  auto kab = complete_bipartite_graph(3, 5);
+  EXPECT_EQ(kab.num_edges(), 15u);
+  EXPECT_TRUE(is_bipartite(kab));
+}
+
+TEST(Classic, CycleAndPath) {
+  EXPECT_EQ(girth(cycle_graph_topo(11)), 11u);
+  EXPECT_EQ(distance_stats(path_graph_topo(6)).diameter, 5);
+  EXPECT_THROW(cycle_graph_topo(2), std::invalid_argument);
+}
+
+TEST(Classic, ClassicTopologiesFarFromRamanujan) {
+  // The survey observation the paper leans on: tori have vanishing
+  // spectral gap relative to the Ramanujan floor as they grow.  (An 8x8
+  // torus still sneaks under the bound — lambda2 = 2 + sqrt(2) < 2*sqrt(3)
+  // — which is itself a nice boundary case.)
+  auto small = compute_spectra(torus_graph({8, 8}));
+  EXPECT_NEAR(small.lambda2, 2.0 + std::sqrt(2.0), 1e-6);
+  auto big = compute_spectra(torus_graph({16, 16}));
+  EXPECT_FALSE(big.ramanujan);
+  EXPECT_LT(big.mu1, 0.1);
+  EXPECT_LT(big.mu1, small.mu1);  // the decay the survey proves
+}
+
+}  // namespace
+}  // namespace sfly::topo

@@ -1,0 +1,97 @@
+#include "core/spectralfly_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_space.hpp"
+#include "sim/traffic.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace sfly::core {
+namespace {
+
+TEST(Network, SpectralFlyConstruction) {
+  auto net = Network::spectralfly({3, 5}, {.concentration = 4});
+  EXPECT_EQ(net.name(), "LPS(3,5)");
+  EXPECT_EQ(net.num_routers(), 120u);
+  EXPECT_EQ(net.num_endpoints(), 480u);
+  EXPECT_GE(net.diameter(), 3u);
+  // Paper default VC sizing: diameter+1 for minimal.
+  EXPECT_EQ(net.options().vcs, net.diameter() + 1);
+}
+
+TEST(Network, SpectraCachedAndRamanujan) {
+  auto net = Network::spectralfly({3, 5});
+  const auto& s1 = net.spectra();
+  EXPECT_TRUE(s1.ramanujan);
+  EXPECT_EQ(&s1, &net.spectra());  // cached
+}
+
+TEST(Network, ValiantGetsWiderVcPool) {
+  NetworkOptions opts;
+  opts.routing = routing::Algo::kValiant;
+  auto net = Network::spectralfly({3, 5}, opts);
+  EXPECT_EQ(net.options().vcs, 2 * net.diameter() + 1);
+}
+
+TEST(Network, FromGraphAndSimulatorRoundTrip) {
+  auto g = topo::dragonfly_graph(topo::DragonFlyParams::canonical(6));
+  NetworkOptions opts;
+  opts.concentration = 2;
+  auto net = Network::from_graph("DF(6)", std::move(g), opts);
+  auto sim = net.make_simulator(3);
+  sim->send(0, net.num_endpoints() - 1, 4096, 0.0);
+  EXPECT_TRUE(sim->run());
+  EXPECT_EQ(sim->message_latency().count(), 1u);
+}
+
+TEST(Network, SimulatorsAreIndependent) {
+  auto net = Network::spectralfly({3, 5}, {.concentration = 1});
+  auto a = net.make_simulator(1);
+  auto b = net.make_simulator(1);
+  a->send(0, 5, 1024, 0.0);
+  EXPECT_TRUE(a->run());
+  EXPECT_EQ(a->message_latency().count(), 1u);
+  EXPECT_EQ(b->message_latency().count(), 0u);
+}
+
+TEST(DesignSpace, MismatchScoresSane) {
+  Target t{1000, 30, 2.0};
+  EXPECT_DOUBLE_EQ(mismatch(t, 1000, 30), 0.0);
+  EXPECT_GT(mismatch(t, 2000, 30), 0.0);
+  EXPECT_GT(mismatch(t, 1000, 60), mismatch(t, 2000, 30));  // radix weighted 2x
+}
+
+TEST(DesignSpace, RecoversTableOneClasses) {
+  // Searching near each paper class should recover the paper's choices.
+  auto c2 = assemble_class({600, 24});
+  ASSERT_TRUE(c2.lps && c2.slimfly && c2.dragonfly);
+  EXPECT_EQ(c2.lps->p, 23u);
+  EXPECT_EQ(c2.lps->q, 11u);
+  EXPECT_EQ(c2.slimfly->q, 17u);
+  EXPECT_EQ(c2.dragonfly->a, 24u);
+
+  auto c3 = assemble_class({2700, 54});
+  ASSERT_TRUE(c3.lps && c3.slimfly);
+  EXPECT_EQ(c3.lps->p, 53u);
+  EXPECT_EQ(c3.lps->q, 17u);
+  EXPECT_EQ(c3.slimfly->q, 37u);
+}
+
+TEST(DesignSpace, BundleFlyParamsParsedBack) {
+  auto bf = closest_bundlefly({234, 11});
+  ASSERT_TRUE(bf.has_value());
+  EXPECT_EQ(bf->p, 13u);
+  EXPECT_EQ(bf->s, 3u);
+}
+
+TEST(DesignSpace, LpsArbitrarySizePerRadix) {
+  // The paper's flexibility claim: for a fixed radix, LPS offers several
+  // sizes (DragonFly/SlimFly cannot).  Radix 12 = LPS(11, q) for many q.
+  std::size_t count = 0;
+  for (const auto& inst : topo::lps_instances(11, 60))
+    if (inst.p == 11) ++count;
+  EXPECT_GE(count, 10u);
+}
+
+}  // namespace
+}  // namespace sfly::core

@@ -1,0 +1,222 @@
+// Tests for the additional expander constructions (Margulis, lifts,
+// Xpander) and the extended routing/simulation features (UGAL-G,
+// adaptive-minimal, link-load stats, placement policies, new patterns).
+
+#include <gtest/gtest.h>
+
+#include "core/spectralfly_net.hpp"
+#include "graph/metrics.hpp"
+#include "sim/traffic.hpp"
+#include "spectral/spectra.hpp"
+#include "topo/lifts.hpp"
+#include "topo/lps.hpp"
+#include "partition/bisection.hpp"
+#include "topo/margulis.hpp"
+
+namespace sfly {
+namespace {
+
+// ---------------- Margulis ----------------
+
+class MargulisSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MargulisSizes, ExpanderProperties) {
+  const std::uint32_t n = GetParam();
+  auto g = topo::margulis_graph({n});
+  EXPECT_EQ(g.num_vertices(), n * n);
+  EXPECT_TRUE(is_connected(g));
+  // Degree at most 8 (simple quotient of the 8-regular multigraph).
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_LE(g.degree(v), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MargulisSizes, ::testing::Values(5, 8, 13, 20));
+
+TEST(Margulis, StrongExpansionStructurally) {
+  // The simple quotient is slightly irregular (the affine maps fix points
+  // on the x=0 / y=0 rows), so check expansion structurally: logarithmic
+  // diameter and a healthy balanced cut.
+  auto g = topo::margulis_graph({16});  // 256 vertices
+  std::uint32_t mind = ~0u;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    mind = std::min(mind, g.degree(v));
+  EXPECT_GE(mind, 4u);  // (0,0) keeps 4 distinct images under the 8 maps
+  EXPECT_LE(distance_stats(g).diameter, 8);  // ~log_7(256) + slack
+  auto cut = bisection_bandwidth(g, {.restarts = 3, .seed = 4});
+  // A 1D-ish structure would cut O(sqrt(n)); an expander cuts Theta(m).
+  EXPECT_GT(cut, g.num_edges() / 8);
+}
+
+// ---------------- lifts / Xpander ----------------
+
+TEST(Lifts, PreservesDegreeAndSize) {
+  auto base = topo::lps_graph({3, 5});
+  auto lifted = topo::random_lift(base, 3, 7);
+  EXPECT_EQ(lifted.num_vertices(), base.num_vertices() * 3);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(lifted.is_regular(&k));
+  EXPECT_EQ(k, 4u);
+}
+
+TEST(Lifts, LiftByOneIsIsomorphicCopy) {
+  auto base = topo::lps_graph({3, 5});
+  auto lifted = topo::random_lift(base, 1, 7);
+  EXPECT_EQ(lifted.edge_list(), base.edge_list());
+}
+
+TEST(Lifts, CoverMapPreservesLocalStructure) {
+  // Every lift vertex's neighborhood projects onto its base vertex's.
+  auto base = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const std::uint32_t k = 4;
+  auto lifted = topo::random_lift(base, k, 11);
+  for (Vertex v = 0; v < lifted.num_vertices(); ++v) {
+    Vertex b = v / k;
+    std::vector<Vertex> projected;
+    for (Vertex w : lifted.neighbors(v)) projected.push_back(w / k);
+    std::sort(projected.begin(), projected.end());
+    auto nb = base.neighbors(b);
+    std::vector<Vertex> expected(nb.begin(), nb.end());
+    EXPECT_EQ(projected, expected) << v;
+  }
+}
+
+TEST(Lifts, XpanderGrowsToTarget) {
+  topo::XpanderParams params{6, 100, 3, 5};
+  auto g = topo::xpander_graph(params);
+  EXPECT_GE(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_vertices(), 7u * 16u);  // (d+1) * 2^4
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 6u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Lifts, XpanderNearRamanujan) {
+  // Spectral selection keeps lambda close to (though typically above) the
+  // Ramanujan floor — the "almost-Ramanujan" claim.
+  topo::XpanderParams params{8, 140, 4, 9};
+  auto g = topo::xpander_graph(params);
+  auto s = compute_spectra(g);
+  EXPECT_LT(s.lambda, 1.35 * ramanujan_bound(8));
+}
+
+TEST(Lifts, RejectsInvalid) {
+  EXPECT_THROW(topo::xpander_graph({2, 100}), std::invalid_argument);
+  EXPECT_THROW(topo::random_lift(topo::lps_graph({3, 5}), 0, 1),
+               std::invalid_argument);
+}
+
+// ---------------- extended routing ----------------
+
+TEST(ExtendedRouting, NamesAndVcs) {
+  EXPECT_STREQ(routing::algo_name(routing::Algo::kUgalG), "ugal-g");
+  EXPECT_STREQ(routing::algo_name(routing::Algo::kAdaptiveMin), "adaptive-min");
+  EXPECT_EQ(routing::required_vcs(routing::Algo::kAdaptiveMin, 3), 4u);
+  EXPECT_EQ(routing::required_vcs(routing::Algo::kUgalG, 3), 7u);
+}
+
+TEST(ExtendedRouting, AdaptiveMinimalDelivers) {
+  core::NetworkOptions opts;
+  opts.concentration = 4;
+  opts.routing = routing::Algo::kAdaptiveMin;
+  auto net = core::Network::spectralfly({3, 5}, opts);
+  auto sim = net.make_simulator(3);
+  sim::SyntheticLoad load;
+  load.pattern = sim::Pattern::kTranspose;
+  load.nranks = 128;
+  load.messages_per_rank = 8;
+  load.offered_load = 0.5;
+  auto res = run_synthetic(*sim, load);
+  EXPECT_EQ(res.messages, 128u * 8u);
+}
+
+TEST(ExtendedRouting, UgalGDelivers) {
+  core::NetworkOptions opts;
+  opts.concentration = 4;
+  opts.routing = routing::Algo::kUgalG;
+  auto net = core::Network::spectralfly({3, 5}, opts);
+  auto sim = net.make_simulator(3);
+  sim::SyntheticLoad load;
+  load.nranks = 128;
+  load.messages_per_rank = 8;
+  load.offered_load = 0.6;
+  auto res = run_synthetic(*sim, load);
+  EXPECT_EQ(res.messages, 128u * 8u);
+}
+
+TEST(ExtendedRouting, AdaptiveMinSpreadsLoadBetterThanOblivious) {
+  // Under a hotspot-ish pattern the adaptive scheme should not increase
+  // the link-load imbalance relative to random minimal selection.
+  auto run = [&](routing::Algo algo) {
+    core::NetworkOptions opts;
+    opts.concentration = 4;
+    opts.routing = algo;
+    auto net = core::Network::spectralfly({3, 5}, opts);
+    auto sim = net.make_simulator(5);
+    sim::SyntheticLoad load;
+    load.pattern = sim::Pattern::kShuffle;
+    load.nranks = 256;
+    load.messages_per_rank = 16;
+    load.offered_load = 0.7;
+    (void)run_synthetic(*sim, load);
+    return sim->link_load().cov;
+  };
+  EXPECT_LE(run(routing::Algo::kAdaptiveMin), run(routing::Algo::kMinimal) * 1.05);
+}
+
+// ---------------- link load / patterns / placement ----------------
+
+TEST(LinkLoad, AccountsForwardedBytes) {
+  auto net = core::Network::spectralfly({3, 5}, {.concentration = 2});
+  auto sim = net.make_simulator(1);
+  sim->send(0, 100, 4096, 0.0);
+  EXPECT_TRUE(sim->run());
+  auto load = sim->link_load();
+  EXPECT_GT(load.max_bytes, 0.0);
+  EXPECT_GT(load.mean_bytes, 0.0);
+  EXPECT_GE(load.max_bytes, load.mean_bytes);
+}
+
+TEST(Patterns, NeighborAndHotspot) {
+  EXPECT_EQ(sim::pattern_destination(sim::Pattern::kNeighbor, 7, 3, 0), 0u);
+  EXPECT_EQ(sim::pattern_destination(sim::Pattern::kNeighbor, 3, 3, 0), 4u);
+  // Hotspot destinations stay in range and hit the hot set often.
+  std::uint32_t hot_hits = 0;
+  for (std::uint64_t e = 0; e < 400; ++e) {
+    auto d = sim::pattern_destination(sim::Pattern::kHotspot, 5, 8,
+                                      e * 0x9E3779B97F4A7C15ull);
+    EXPECT_LT(d, 256u);
+    if (d < 16) ++hot_hits;  // bottom 1/16 of 256 ranks
+  }
+  EXPECT_GT(hot_hits, 400u / 5);  // ~25% targeted + background hits
+}
+
+TEST(Placement, PoliciesShapeAllocations) {
+  auto linear = sim::place_ranks_policy(sim::PlacementPolicy::kLinear, 8, 64, 1);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(linear[i], i);
+  auto clustered =
+      sim::place_ranks_policy(sim::PlacementPolicy::kClustered, 8, 64, 1);
+  for (std::uint32_t i = 1; i < 8; ++i)
+    EXPECT_EQ((clustered[i] + 64 - clustered[i - 1]) % 64, 1u);
+  auto random = sim::place_ranks_policy(sim::PlacementPolicy::kRandom, 8, 64, 1);
+  EXPECT_EQ(random.size(), 8u);
+}
+
+TEST(Placement, ClusteredVsRandomAffectsContention) {
+  // Clustered placement concentrates traffic near a few routers; the
+  // simulator must still drain and the run remain reproducible.
+  auto net = core::Network::spectralfly({3, 5}, {.concentration = 4});
+  for (auto policy :
+       {sim::PlacementPolicy::kRandom, sim::PlacementPolicy::kClustered}) {
+    auto sim = net.make_simulator(7);
+    sim::SyntheticLoad load;
+    load.placement = policy;
+    load.nranks = 128;
+    load.messages_per_rank = 8;
+    load.offered_load = 0.4;
+    auto res = run_synthetic(*sim, load);
+    EXPECT_EQ(res.messages, 128u * 8u);
+  }
+}
+
+}  // namespace
+}  // namespace sfly

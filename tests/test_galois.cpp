@@ -1,0 +1,85 @@
+#include "gf/galois.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sfly::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldAxioms, GroupStructure) {
+  const std::uint64_t q = GetParam();
+  Field f(q);
+  EXPECT_EQ(f.order(), q);
+
+  // Additive group: identity, inverses, associativity (spot), commutativity.
+  for (std::uint64_t a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(static_cast<Field::Elt>(a), 0), a);
+    EXPECT_EQ(f.add(static_cast<Field::Elt>(a), f.neg(static_cast<Field::Elt>(a))), 0u);
+  }
+  // Multiplicative group: every nonzero invertible; 1 is identity.
+  for (std::uint64_t a = 1; a < q; ++a) {
+    auto e = static_cast<Field::Elt>(a);
+    EXPECT_EQ(f.mul(e, 1), a);
+    EXPECT_EQ(f.mul(e, f.inv(e)), 1u);
+  }
+  // Distributivity (exhaustive for small q, sampled for larger).
+  const std::uint64_t step = q <= 16 ? 1 : q / 11;
+  for (std::uint64_t a = 0; a < q; a += step)
+    for (std::uint64_t b = 0; b < q; b += step)
+      for (std::uint64_t c = 0; c < q; c += step) {
+        auto ea = static_cast<Field::Elt>(a), eb = static_cast<Field::Elt>(b),
+             ec = static_cast<Field::Elt>(c);
+        EXPECT_EQ(f.mul(ea, f.add(eb, ec)), f.add(f.mul(ea, eb), f.mul(ea, ec)));
+      }
+}
+
+TEST_P(FieldAxioms, PrimitiveElementOrder) {
+  const std::uint64_t q = GetParam();
+  Field f(q);
+  std::set<Field::Elt> seen;
+  Field::Elt x = 1;
+  for (std::uint64_t i = 0; i < q - 1; ++i) {
+    seen.insert(x);
+    x = f.mul(x, f.primitive());
+  }
+  EXPECT_EQ(x, 1u);               // xi^(q-1) = 1
+  EXPECT_EQ(seen.size(), q - 1);  // generates the full multiplicative group
+}
+
+TEST_P(FieldAxioms, SquaresCount) {
+  const std::uint64_t q = GetParam();
+  Field f(q);
+  std::size_t squares = 0;
+  for (std::uint64_t a = 1; a < q; ++a)
+    if (f.is_square(static_cast<Field::Elt>(a))) ++squares;
+  if (f.characteristic() == 2)
+    EXPECT_EQ(squares, q - 1);  // Frobenius: every element is a square
+  else
+    EXPECT_EQ(squares, (q - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeAndPrimePowers, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 25,
+                                           27, 49, 81));
+
+TEST(Field, RejectsNonPrimePower) {
+  EXPECT_THROW(Field(12), std::invalid_argument);
+  EXPECT_THROW(Field(1), std::invalid_argument);
+}
+
+TEST(Field, GF9MatchesKnownStructure) {
+  Field f(9);
+  EXPECT_EQ(f.characteristic(), 3u);
+  EXPECT_EQ(f.degree(), 2u);
+  // x + x + x = 0 in characteristic 3.
+  for (std::uint64_t a = 0; a < 9; ++a) {
+    auto e = static_cast<Field::Elt>(a);
+    EXPECT_EQ(f.add(f.add(e, e), e), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sfly::gf

@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/failures.hpp"
+#include "graph/matching.hpp"
+
+namespace sfly {
+namespace {
+
+Graph path_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph cycle_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph complete_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph::from_edges(n, std::move(e));
+}
+
+TEST(Graph, BasicCSR) {
+  auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, DeduplicatesAndNormalizes) {
+  auto g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoopAndOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, {{0, 3}}), std::out_of_range);
+}
+
+TEST(Graph, RegularityCheck) {
+  std::uint32_t k = 0;
+  EXPECT_TRUE(cycle_graph(5).is_regular(&k));
+  EXPECT_EQ(k, 2u);
+  EXPECT_FALSE(path_graph(5).is_regular());
+  EXPECT_TRUE(complete_graph(6).is_regular(&k));
+  EXPECT_EQ(k, 5u);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  auto g = complete_graph(5);
+  auto edges = g.edge_list();
+  EXPECT_EQ(edges.size(), 10u);
+  auto g2 = Graph::from_edges(5, std::move(edges));
+  EXPECT_EQ(g2.num_edges(), 10u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g2.degree(v), 4u);
+}
+
+TEST(GraphBuilder, DropsLoopsSilently) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  auto g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Matching, PerfectOnEvenCycle) {
+  auto g = cycle_graph(10);
+  auto m = maximal_matching(g, 7);
+  EXPECT_EQ(matching_size(m), 5u);
+  for (Vertex v = 0; v < 10; ++v) {
+    ASSERT_NE(m[v], kUnmatched);
+    EXPECT_EQ(m[m[v]], v);
+    EXPECT_TRUE(g.has_edge(v, m[v]));
+  }
+}
+
+TEST(Matching, OddCycleLeavesOneFree) {
+  auto g = cycle_graph(9);
+  auto m = maximal_matching(g, 3);
+  EXPECT_EQ(matching_size(m), 4u);
+}
+
+TEST(Matching, CompleteGraphPerfect) {
+  auto m = maximal_matching(complete_graph(12), 1);
+  EXPECT_EQ(matching_size(m), 6u);
+}
+
+TEST(Failures, DeletesRequestedFraction) {
+  auto g = complete_graph(20);  // 190 edges
+  auto h = delete_random_edges(g, 0.1, 42);
+  EXPECT_EQ(h.num_edges(), 171u);
+  EXPECT_EQ(h.num_vertices(), 20u);
+  // Survivor edges are a subset of the original.
+  for (auto [u, v] : h.edge_list()) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(Failures, ZeroAndFullFraction) {
+  auto g = cycle_graph(8);
+  EXPECT_EQ(delete_random_edges(g, 0.0, 1).num_edges(), 8u);
+  EXPECT_EQ(delete_random_edges(g, 1.0, 1).num_edges(), 0u);
+}
+
+TEST(Failures, DeterministicForSeed) {
+  auto g = complete_graph(15);
+  auto a = delete_random_edges(g, 0.3, 99).edge_list();
+  auto b = delete_random_edges(g, 0.3, 99).edge_list();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Failures, AdaptiveMeanConvergesOnConstant) {
+  auto r = adaptive_mean([](std::uint64_t) { return 3.5; }, 1, 0.10, 1000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.mean, 3.5);
+}
+
+TEST(Failures, AdaptiveMeanSkipsNaN) {
+  auto r = adaptive_mean(
+      [](std::uint64_t t) { return t % 2 ? 2.0 : std::nan(""); }, 2, 0.10, 1000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.mean, 2.0);
+}
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,200 @@
+// Cross-module integration tests: topology generators feeding spectral
+// analysis, bisection, routing, simulation, and layout together — the
+// paper's claims as executable assertions.
+
+#include <gtest/gtest.h>
+
+#include "core/spectralfly_net.hpp"
+#include "graph/failures.hpp"
+#include "graph/metrics.hpp"
+#include "layout/qap.hpp"
+#include "layout/wiring.hpp"
+#include "partition/bisection.hpp"
+#include "sim/motifs.hpp"
+#include "sim/traffic.hpp"
+#include "spectral/spectra.hpp"
+#include "topo/factory.hpp"
+#include "topo/jellyfish.hpp"
+#include "util/rng.hpp"
+
+namespace sfly {
+namespace {
+
+// --- Section II: spectral-gap ordering claims -------------------------
+
+TEST(Integration, SpectralFlyBeatsJellyfishSpectralGap) {
+  // Friedman: random regular graphs are sub-Ramanujan; LPS graphs achieve
+  // the floor.  Compare mu1 at matched size/radix.
+  auto lps = topo::lps_graph({11, 7});  // 168 vertices, 12-regular
+  auto jelly = topo::jellyfish_graph({168, 12, 99});
+  auto s_lps = compute_spectra(lps);
+  auto s_jelly = compute_spectra(jelly);
+  EXPECT_TRUE(s_lps.ramanujan);
+  EXPECT_GT(s_lps.mu1, 0.0);
+  // Jellyfish is good but cannot beat LPS by more than noise; LPS must be
+  // at least competitive (within the Alon-Boppana slack).
+  EXPECT_GE(s_lps.mu1 + 0.02, s_jelly.mu1);
+}
+
+TEST(Integration, DragonFlySpectralGapDecays) {
+  // Paper Table I: DF mu1 decays with size (0.08 -> 0.01).
+  auto small = compute_spectra(topo::dragonfly_graph(topo::DragonFlyParams::canonical(12)));
+  auto large = compute_spectra(topo::dragonfly_graph(topo::DragonFlyParams::canonical(24)));
+  EXPECT_LT(large.mu1, small.mu1);
+  EXPECT_LT(small.mu1, 0.15);
+}
+
+TEST(Integration, LpsMu1DoesNotDecayWithSize) {
+  // Fixed radix (p=11 -> k=12), growing q: mu1 stays near the Ramanujan
+  // floor instead of decaying.
+  auto s1 = compute_spectra(topo::lps_graph({11, 7}));
+  auto s2 = compute_spectra(topo::lps_graph({11, 13}));
+  double floor = 1.0 - ramanujan_bound(12) / 12.0;
+  EXPECT_GE(s1.mu1 + 1e-6, floor);
+  EXPECT_GE(s2.mu1 + 1e-6, floor);
+}
+
+// --- Section IV: bisection-bandwidth ordering --------------------------
+
+TEST(Integration, BisectionOrderingClassTwo) {
+  // ~600-router class: LPS > SF >> BF > DF in raw cut (paper Fig. 4).
+  auto cut = [](const Graph& g) {
+    return bisection_bandwidth(g, {.restarts = 3, .seed = 2});
+  };
+  auto lps = cut(topo::lps_graph({23, 11}));
+  auto sf = cut(topo::slimfly_graph({17}));
+  auto bf = cut(topo::bundlefly_graph({37, 3, topo::BundleShift::kAffine}));
+  auto df = cut(topo::dragonfly_graph(topo::DragonFlyParams::canonical(24)));
+  EXPECT_GT(lps, sf);
+  EXPECT_GT(sf, bf);
+  EXPECT_GT(bf, df);
+}
+
+TEST(Integration, FiedlerBoundBelowMetisCut) {
+  for (auto make : {+[] { return topo::lps_graph({11, 7}); },
+                    +[] { return topo::slimfly_graph({9}); }}) {
+    auto g = make();
+    auto spec = compute_spectra(g);
+    auto cut = bisection_bandwidth(g, {.restarts = 4, .seed = 1});
+    EXPECT_GE(static_cast<double>(cut) + 1e-9,
+              spec.bisection_lower_bound(g.num_vertices()))
+        << g.summary();
+  }
+}
+
+TEST(Integration, CirculantBeatsAbsoluteDragonFlyBisection) {
+  // The paper adopts circulant global links citing better bisection.
+  auto circ = topo::DragonFlyParams::canonical(16);
+  auto abs = circ;
+  abs.arrangement = topo::GlobalArrangement::kAbsolute;
+  auto cut_c = bisection_bandwidth(topo::dragonfly_graph(circ), {.restarts = 4});
+  auto cut_a = bisection_bandwidth(topo::dragonfly_graph(abs), {.restarts = 4});
+  EXPECT_GE(cut_c, cut_a);
+}
+
+// --- Section IV-A: failure resilience ----------------------------------
+
+TEST(Integration, LpsStaysConnectedUnderHeavyFailure) {
+  auto g = topo::lps_graph({23, 11});
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    auto h = delete_random_edges(g, 0.5, split_seed(31, trial));
+    EXPECT_TRUE(is_connected(h)) << trial;
+  }
+}
+
+TEST(Integration, SlimFlyDiameterFragile) {
+  // Paper: at 10% failures SlimFly's diameter-2 jumps past LPS's.
+  auto sf = topo::slimfly_graph({17});
+  auto lps = topo::lps_graph({23, 11});
+  double sf_diam = 0, lps_diam = 0;
+  const int kTrials = 5;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    sf_diam += distance_stats(delete_random_edges(sf, 0.1, split_seed(7, t))).diameter;
+    lps_diam += distance_stats(delete_random_edges(lps, 0.1, split_seed(7, t))).diameter;
+  }
+  EXPECT_GT(sf_diam / kTrials, 2.0 + 1.0);   // jumped well past 2
+  EXPECT_LE(lps_diam / kTrials, sf_diam / kTrials + 0.2);
+}
+
+// --- Sections V-VI: routing + simulation -------------------------------
+
+TEST(Integration, UgalBetweenMinimalAndValiantOnAdversarial) {
+  // Transpose pattern at high load: UGAL-L should not be worse than BOTH
+  // endpoints of its decision spectrum.
+  auto g = topo::lps_graph({11, 7});
+  auto tables = routing::Tables::build(g);
+  auto run = [&](routing::Algo algo) {
+    sim::SimConfig cfg;
+    cfg.concentration = 4;
+    cfg.algo = algo;
+    cfg.vcs = routing::required_vcs(algo, tables.diameter());
+    sim::Simulator s(g, tables, cfg);
+    sim::SyntheticLoad load;
+    load.pattern = sim::Pattern::kTranspose;
+    load.nranks = 256;
+    load.messages_per_rank = 16;
+    load.offered_load = 0.6;
+    return run_synthetic(s, load).max_latency_ns;
+  };
+  double mn = run(routing::Algo::kMinimal);
+  double va = run(routing::Algo::kValiant);
+  double ug = run(routing::Algo::kUgalL);
+  EXPECT_LE(ug, std::max(mn, va) * 1.10);
+}
+
+TEST(Integration, HigherLoadNeverFaster) {
+  auto net = core::Network::spectralfly({11, 7}, {.concentration = 4});
+  double prev = 0.0;
+  for (double load : {0.2, 0.5, 0.8}) {
+    auto sim = net.make_simulator(5);
+    sim::SyntheticLoad sl;
+    sl.pattern = sim::Pattern::kRandom;
+    sl.nranks = 256;
+    sl.messages_per_rank = 16;
+    sl.offered_load = load;
+    double mean = run_synthetic(*sim, sl).mean_latency_ns;
+    EXPECT_GE(mean * 1.05, prev) << "mean latency should not drop with load";
+    prev = mean;
+  }
+}
+
+TEST(Integration, MotifCompletesOnAllFourFamilies) {
+  std::vector<std::pair<std::string, Graph>> topos;
+  topos.emplace_back("LPS", topo::lps_graph({11, 7}));
+  topos.emplace_back("SF", topo::slimfly_graph({9}));
+  topos.emplace_back("BF", topo::bundlefly_graph({13, 3, topo::BundleShift::kAffine}));
+  topos.emplace_back("DF", topo::dragonfly_graph(topo::DragonFlyParams::canonical(12)));
+  for (auto& [name, g] : topos) {
+    core::NetworkOptions opts;
+    opts.concentration = 4;
+    auto net = core::Network::from_graph(name, std::move(g), opts);
+    auto sim = net.make_simulator(1);
+    sim::Halo3D26 halo(4, 4, 4, 2);
+    auto res = run_motif(*sim, halo, 1);
+    EXPECT_EQ(res.messages, 64u * 26u * 2u) << name;
+    EXPECT_GT(res.completion_ns, 0.0) << name;
+  }
+}
+
+// --- Section VII: layout ------------------------------------------------
+
+TEST(Integration, LpsAndSlimFlyWireLengthsComparable) {
+  // Table II: mean wire lengths within ~10-15% of each other.
+  auto lps = topo::lps_graph({11, 7});
+  auto sf = topo::slimfly_graph({9});
+  auto l1 = layout::optimize_layout(lps, {.em_rounds = 3, .swap_passes = 3});
+  auto l2 = layout::optimize_layout(sf, {.em_rounds = 3, .swap_passes = 3});
+  EXPECT_NEAR(l1.mean_wire_m / l2.mean_wire_m, 1.0, 0.2);
+}
+
+TEST(Integration, MatchedLayoutBeatsUnmatchedWirecount) {
+  auto g = topo::slimfly_graph({5});
+  auto opt = layout::optimize_layout(g);
+  auto w = layout::wiring_stats(g, opt.placement);
+  // Pinned matching guarantees a healthy electrical share.
+  EXPECT_GT(w.electrical, w.links / 10);
+  EXPECT_EQ(w.electrical + w.optical, w.links);
+}
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,124 @@
+#include "topo/lps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "spectral/spectra.hpp"
+
+namespace sfly::topo {
+namespace {
+
+TEST(Lps, ParamsValidation) {
+  EXPECT_TRUE(LpsParams({3, 5}).valid());
+  EXPECT_FALSE(LpsParams({3, 3}).valid());   // not distinct
+  EXPECT_FALSE(LpsParams({2, 7}).valid());   // p even
+  EXPECT_FALSE(LpsParams({9, 7}).valid());   // p composite
+  EXPECT_TRUE(LpsParams({3, 5}).is_ramanujan_range());   // 5 > 2*sqrt(3)
+  EXPECT_FALSE(LpsParams({11, 5}).is_ramanujan_range()); // 5 < 2*sqrt(11)
+}
+
+TEST(Lps, ClosedFormSizes) {
+  // Paper anchors (Table I and Section VI-B).
+  EXPECT_EQ(LpsParams({3, 5}).num_vertices(), 120u);    // PGL
+  EXPECT_EQ(LpsParams({11, 7}).num_vertices(), 168u);   // PSL
+  EXPECT_EQ(LpsParams({23, 11}).num_vertices(), 660u);  // PSL
+  EXPECT_EQ(LpsParams({53, 17}).num_vertices(), 2448u); // PSL
+  EXPECT_EQ(LpsParams({71, 17}).num_vertices(), 4896u); // PGL
+  EXPECT_EQ(LpsParams({89, 19}).num_vertices(), 6840u); // PGL
+  EXPECT_EQ(LpsParams({23, 13}).num_vertices(), 1092u); // PSL (simulation)
+  EXPECT_EQ(LpsParams({29, 13}).num_vertices(), 1092u); // Table II row 4
+}
+
+TEST(Lps, SmallestGraphLps35) {
+  auto g = lps_graph({3, 5});
+  EXPECT_EQ(g.num_vertices(), 120u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+class LpsTableOne : public ::testing::TestWithParam<
+                        std::tuple<std::uint64_t, std::uint64_t,  // p, q
+                                   std::uint32_t,                 // diameter
+                                   double,                        // mean dist
+                                   std::uint32_t>> {};            // girth
+
+TEST_P(LpsTableOne, StructuralAnchors) {
+  auto [p, q, diam, dist, girth_expected] = GetParam();
+  LpsParams params{p, q};
+  auto g = lps_graph(params);
+  EXPECT_EQ(g.num_vertices(), params.num_vertices());
+  EXPECT_TRUE(is_connected(g));
+
+  auto stats = distance_stats(g);
+  EXPECT_EQ(stats.diameter, static_cast<std::int32_t>(diam));
+  EXPECT_NEAR(stats.mean_distance, dist, 0.05);
+  EXPECT_EQ(girth(g), girth_expected);
+}
+
+// Rows of Table I (diameter, mean distance, girth).
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, LpsTableOne,
+    ::testing::Values(std::make_tuple(11, 7, 3, 2.39, 3),
+                      std::make_tuple(23, 11, 3, 2.35, 3)));
+
+TEST(Lps, RamanujanProperty) {
+  for (auto [p, q] : {std::pair<std::uint64_t, std::uint64_t>{3, 5},
+                      {11, 7},
+                      {23, 11},
+                      {13, 7}}) {
+    auto g = lps_graph({p, q});
+    auto s = compute_spectra(g);
+    EXPECT_TRUE(s.ramanujan) << "LPS(" << p << "," << q << ") lambda=" << s.lambda
+                             << " bound=" << ramanujan_bound(s.radix);
+  }
+}
+
+TEST(Lps, BipartiteIffPgl) {
+  // (p|q) = -1 -> generators outside PSL -> bipartite double cover of PSL.
+  auto g35 = lps_graph({3, 5});  // PGL
+  EXPECT_TRUE(is_bipartite(g35));
+  auto g117 = lps_graph({11, 7});  // PSL
+  EXPECT_FALSE(is_bipartite(g117));
+}
+
+TEST(Lps, VertexTransitiveDegreeAndLocalStructure) {
+  // Cayley graphs are vertex-transitive; spot-check that every vertex sees
+  // the same sorted eccentricity and degree (cheap necessary conditions).
+  auto g = lps_graph({3, 5});
+  auto d0 = bfs_distances(g, 0);
+  std::vector<std::uint64_t> hist0(16, 0);
+  for (auto d : d0) ++hist0[d];
+  for (Vertex v = 17; v < g.num_vertices(); v += 31) {
+    auto dv = bfs_distances(g, v);
+    std::vector<std::uint64_t> hist(16, 0);
+    for (auto d : dv) ++hist[d];
+    EXPECT_EQ(hist, hist0) << v;  // identical distance profile from any root
+  }
+}
+
+TEST(Lps, InstancesEnumeration) {
+  auto inst = lps_instances(20, 20);
+  // All pairs valid and within Ramanujan range.
+  for (const auto& p : inst) {
+    EXPECT_TRUE(p.valid());
+    EXPECT_TRUE(p.is_ramanujan_range());
+  }
+  // (3,5) included; (11,5) excluded (5 < 2*sqrt(11)).
+  bool has35 = false, has115 = false;
+  for (const auto& p : inst) {
+    has35 |= (p.p == 3 && p.q == 5);
+    has115 |= (p.p == 11 && p.q == 5);
+  }
+  EXPECT_TRUE(has35);
+  EXPECT_FALSE(has115);
+}
+
+TEST(Lps, ThrowsOnInvalid) {
+  EXPECT_THROW(lps_graph({4, 7}), std::invalid_argument);
+  EXPECT_THROW(lps_graph({7, 7}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfly::topo

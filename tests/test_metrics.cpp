@@ -1,0 +1,116 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfly {
+namespace {
+
+Graph cycle_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph complete_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph petersen() {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < 5; ++i) {
+    e.emplace_back(i, (i + 1) % 5);
+    e.emplace_back(i + 5, (i + 2) % 5 + 5);
+    e.emplace_back(i, i + 5);
+  }
+  return Graph::from_edges(10, std::move(e));
+}
+
+Graph hypercube(unsigned d) {
+  Vertex n = 1u << d;
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex v = 0; v < n; ++v)
+    for (unsigned b = 0; b < d; ++b)
+      if (!(v & (1u << b))) e.emplace_back(v, v | (1u << b));
+  return Graph::from_edges(n, std::move(e));
+}
+
+TEST(Metrics, BfsDistancesOnCycle) {
+  auto d = bfs_distances(cycle_graph(8), 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[4], 4);
+  EXPECT_EQ(d[7], 1);
+}
+
+TEST(Metrics, DistanceStatsCycle) {
+  auto s = distance_stats(cycle_graph(8));
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 4);
+  // Mean distance on C8: (1+2+3+4+3+2+1)/7 = 16/7.
+  EXPECT_NEAR(s.mean_distance, 16.0 / 7.0, 1e-12);
+  // Histogram: 8 vertices * 2 at distance 1,2,3; *1 at distance 4.
+  ASSERT_EQ(s.histogram.size(), 5u);
+  EXPECT_EQ(s.histogram[1], 16u);
+  EXPECT_EQ(s.histogram[4], 8u);
+}
+
+TEST(Metrics, DistanceStatsComplete) {
+  auto s = distance_stats(complete_graph(7));
+  EXPECT_EQ(s.diameter, 1);
+  EXPECT_DOUBLE_EQ(s.mean_distance, 1.0);
+}
+
+TEST(Metrics, HypercubeDiameterAndMean) {
+  auto s = distance_stats(hypercube(4));
+  EXPECT_EQ(s.diameter, 4);
+  EXPECT_NEAR(s.mean_distance, 4 * 8.0 / 15.0 * 1.0, 1e-9);
+  // Mean distance of Q_d is d*2^(d-1)/(2^d - 1) = 32/15 for d=4.
+  EXPECT_NEAR(s.mean_distance, 32.0 / 15.0, 1e-9);
+}
+
+TEST(Metrics, GirthKnownGraphs) {
+  EXPECT_EQ(girth(cycle_graph(9)), 9u);
+  EXPECT_EQ(girth(complete_graph(4)), 3u);
+  EXPECT_EQ(girth(petersen()), 5u);
+  EXPECT_EQ(girth(hypercube(3)), 4u);
+}
+
+TEST(Metrics, GirthForest) {
+  auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(girth(g), 0u);
+}
+
+TEST(Metrics, Components) {
+  auto g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(num_components(g), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(cycle_graph(5)));
+}
+
+TEST(Metrics, DisconnectedStatsFlag) {
+  auto g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  auto s = distance_stats(g);
+  EXPECT_FALSE(s.connected);
+}
+
+TEST(Metrics, Bipartiteness) {
+  std::vector<std::uint8_t> side;
+  EXPECT_TRUE(is_bipartite(cycle_graph(8), &side));
+  EXPECT_NE(side[0], side[1]);
+  EXPECT_FALSE(is_bipartite(cycle_graph(7)));
+  EXPECT_TRUE(is_bipartite(hypercube(4)));
+  EXPECT_FALSE(is_bipartite(petersen()));
+}
+
+TEST(Metrics, Eccentricity) {
+  auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(eccentricity(g, 0), 3);
+  EXPECT_EQ(eccentricity(g, 1), 2);
+}
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,202 @@
+// Edge-case and utility coverage: event queue ordering, latency stats,
+// table rendering, simulator argument validation, cabinet grids, and the
+// odd corners of the topology parameter space.
+
+#include <gtest/gtest.h>
+
+#include "layout/cabinets.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "topo/lps.hpp"
+#include "topo/mms.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace sfly {
+namespace {
+
+// ---------------- event queue ----------------
+
+TEST(EventQueue, TimeOrdering) {
+  sim::EventQueue q;
+  q.push(5.0, sim::EventKind::kDeliver, 1);
+  q.push(1.0, sim::EventKind::kDeliver, 2);
+  q.push(3.0, sim::EventKind::kDeliver, 3);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 3u);
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  sim::EventQueue q;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    q.push(7.0, sim::EventKind::kTryTransmit, i);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(q.pop().a, i);
+}
+
+// ---------------- latency stats ----------------
+
+TEST(LatencyStats, MomentsAndPercentiles) {
+  sim::LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.record(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(LatencyStats, EmptyIsZero) {
+  sim::LatencyStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+// ---------------- table ----------------
+
+TEST(TableUtil, AlignsColumns) {
+  Table t({"A", "Bee"});
+  t.add_row({"xx", "y"});
+  t.add_row({"x", "yyyy"});
+  auto s = t.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("Bee"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+}
+
+TEST(TableUtil, ShortRowsPadded) {
+  Table t({"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TableUtil, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+// ---------------- rng ----------------
+
+TEST(RngUtil, SplitSeedDecorrelates) {
+  // Different streams from the same base must differ.
+  EXPECT_NE(split_seed(42, 0), split_seed(42, 1));
+  EXPECT_NE(split_seed(42, 0), split_seed(43, 0));
+  // uniform_below stays below.
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(uniform_below(rng, 7), 7u);
+}
+
+// ---------------- simulator argument validation ----------------
+
+TEST(SimulatorEdge, RejectsBadEndpoints) {
+  auto g = Graph::from_edges(2, {{0, 1}});
+  auto t = routing::Tables::build(g);
+  sim::SimConfig cfg;
+  cfg.concentration = 1;
+  sim::Simulator s(g, t, cfg);
+  EXPECT_THROW(s.send(0, 99, 100, 0.0), std::out_of_range);
+  EXPECT_THROW(s.send(99, 0, 100, 0.0), std::out_of_range);
+}
+
+TEST(SimulatorEdge, ZeroByteMessageClampsToOne) {
+  auto g = Graph::from_edges(2, {{0, 1}});
+  auto t = routing::Tables::build(g);
+  sim::SimConfig cfg;
+  cfg.concentration = 1;
+  sim::Simulator s(g, t, cfg);
+  s.send(0, 1, 0, 0.0);
+  EXPECT_TRUE(s.run());
+  EXPECT_EQ(s.message_latency().count(), 1u);
+}
+
+TEST(SimulatorEdge, RunUntilStopsEarly) {
+  auto g = Graph::from_edges(2, {{0, 1}});
+  auto t = routing::Tables::build(g);
+  sim::SimConfig cfg;
+  cfg.concentration = 1;
+  sim::Simulator s(g, t, cfg);
+  s.send(0, 1, 4096, 1e9);  // scheduled far in the future
+  EXPECT_FALSE(s.run(/*until=*/10.0));
+  EXPECT_EQ(s.message_latency().count(), 0u);
+  EXPECT_TRUE(s.run());  // finish it
+  EXPECT_EQ(s.message_latency().count(), 1u);
+}
+
+TEST(SimulatorEdge, DegenerateConfigRejected) {
+  auto g = Graph::from_edges(2, {{0, 1}});
+  auto t = routing::Tables::build(g);
+  sim::SimConfig cfg;
+  cfg.vcs = 0;
+  EXPECT_THROW(sim::Simulator(g, t, cfg), std::invalid_argument);
+}
+
+TEST(SimulatorEdge, SelfMessageDelivered) {
+  auto g = Graph::from_edges(2, {{0, 1}});
+  auto t = routing::Tables::build(g);
+  sim::SimConfig cfg;
+  cfg.concentration = 2;
+  sim::Simulator s(g, t, cfg);
+  s.send(0, 0, 512, 0.0);  // endpoint to itself through its router
+  EXPECT_TRUE(s.run());
+  EXPECT_EQ(s.message_latency().count(), 1u);
+}
+
+// ---------------- cabinets ----------------
+
+TEST(CabinetGridEdge, SingleRouter) {
+  auto g = layout::CabinetGrid::for_routers(1);
+  EXPECT_EQ(g.cabinets, 1u);
+  EXPECT_GE(g.grid_x * g.grid_y, 1u);
+}
+
+TEST(CabinetGridEdge, OddRouterCount) {
+  auto g = layout::CabinetGrid::for_routers(169);
+  EXPECT_EQ(g.cabinets, 85u);  // one cabinet half full
+}
+
+TEST(CabinetGridEdge, WireSymmetryExhaustive) {
+  auto g = layout::CabinetGrid::for_routers(40);
+  for (std::uint32_t a = 0; a < g.cabinets; ++a)
+    for (std::uint32_t b = 0; b < g.cabinets; ++b)
+      EXPECT_DOUBLE_EQ(g.wire_length(a, b), g.wire_length(b, a));
+}
+
+// ---------------- parameter-space corners ----------------
+
+TEST(ParamCorners, LpsNonRamanujanRangeStillBuilds) {
+  // Table II uses LPS(19,7) although 7 < 2*sqrt(19): the construction is
+  // still a valid simple 20-regular Cayley graph, just without the
+  // spectral certificate.
+  topo::LpsParams p{19, 7};
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(p.is_ramanujan_range());
+  auto g = topo::lps_graph(p);
+  EXPECT_EQ(g.num_vertices(), 336u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 20u);
+}
+
+TEST(ParamCorners, MmsRejectsTwoModFour) {
+  EXPECT_FALSE(topo::MmsParams{6}.valid());
+  EXPECT_FALSE(topo::MmsParams{2}.valid());
+  EXPECT_THROW(topo::mms_graph({6}), std::invalid_argument);
+}
+
+TEST(ParamCorners, SmallestMms) {
+  auto g = topo::mms_graph({3});
+  EXPECT_EQ(g.num_vertices(), 18u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 5u);
+}
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,121 @@
+#include "nt/numtheory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sfly::nt {
+namespace {
+
+TEST(NumTheory, IsPrimeSmall) {
+  std::set<u64> primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47};
+  for (u64 n = 0; n <= 50; ++n) EXPECT_EQ(is_prime(n), primes.count(n) == 1) << n;
+}
+
+TEST(NumTheory, IsPrimeLarge) {
+  EXPECT_TRUE(is_prime(1'000'000'007ull));
+  EXPECT_TRUE(is_prime(1'000'000'009ull));
+  EXPECT_FALSE(is_prime(1'000'000'007ull * 3));
+  EXPECT_TRUE(is_prime((1ull << 61) - 1));  // Mersenne prime M61
+}
+
+TEST(NumTheory, PrimesInRange) {
+  auto ps = primes_in(10, 30);
+  EXPECT_EQ(ps, (std::vector<u64>{11, 13, 17, 19, 23, 29}));
+  EXPECT_TRUE(primes_in(24, 28).empty());
+}
+
+TEST(NumTheory, PowAndInv) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(7, 0, 13), 1u);
+  for (u64 a = 1; a < 13; ++a)
+    EXPECT_EQ(mulmod(a, invmod(a, 13), 13), 1u) << a;
+}
+
+TEST(NumTheory, LegendreBasics) {
+  // Squares mod 7: {1, 2, 4}.
+  EXPECT_EQ(legendre(1, 7), 1);
+  EXPECT_EQ(legendre(2, 7), 1);
+  EXPECT_EQ(legendre(3, 7), -1);
+  EXPECT_EQ(legendre(4, 7), 1);
+  EXPECT_EQ(legendre(5, 7), -1);
+  EXPECT_EQ(legendre(7, 7), 0);
+  EXPECT_EQ(legendre(-1, 7), -1);   // 7 = 3 mod 4
+  EXPECT_EQ(legendre(-1, 13), 1);   // 13 = 1 mod 4
+}
+
+// Paper anchors: the Legendre symbols deciding PSL vs PGL in Table I.
+TEST(NumTheory, LegendrePaperInstances) {
+  EXPECT_EQ(legendre(3, 5), -1);    // LPS(3,5) -> PGL
+  EXPECT_EQ(legendre(11, 7), 1);    // LPS(11,7) -> PSL
+  EXPECT_EQ(legendre(23, 11), 1);   // LPS(23,11) -> PSL
+  EXPECT_EQ(legendre(53, 17), 1);   // LPS(53,17) -> PSL
+  EXPECT_EQ(legendre(71, 17), -1);  // LPS(71,17) -> PGL
+  EXPECT_EQ(legendre(89, 19), -1);  // LPS(89,19) -> PGL
+  EXPECT_EQ(legendre(23, 13), 1);   // LPS(23,13) -> PSL (simulation config)
+}
+
+TEST(NumTheory, SqrtMod) {
+  for (u64 p : {5ull, 7ull, 13ull, 17ull, 97ull, 101ull}) {
+    for (u64 a = 0; a < p; ++a) {
+      auto r = sqrt_mod(a, p);
+      if (legendre(static_cast<i64>(a), p) >= 0) {
+        ASSERT_TRUE(r.has_value()) << a << " mod " << p;
+        EXPECT_EQ(mulmod(*r, *r, p), a);
+      } else {
+        EXPECT_FALSE(r.has_value());
+      }
+    }
+  }
+}
+
+TEST(NumTheory, SolveX2Y2Plus1) {
+  for (u64 q : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 101ull}) {
+    auto [x, y] = solve_x2_y2_plus1(q);
+    EXPECT_EQ((mulmod(x, x, q) + mulmod(y, y, q) + 1) % q, 0u) << q;
+  }
+}
+
+// Jacobi's theorem pins the LPS generator count to exactly p+1.
+TEST(NumTheory, FourSquaresCount) {
+  for (u64 p : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull,
+                53ull, 71ull, 89ull}) {
+    auto sols = lps_four_squares(p);
+    EXPECT_EQ(sols.size(), p + 1) << p;
+    for (const auto& s : sols) {
+      EXPECT_EQ(s.a0 * s.a0 + s.a1 * s.a1 + s.a2 * s.a2 + s.a3 * s.a3,
+                static_cast<i64>(p));
+      if (p % 4 == 1) {
+        EXPECT_GT(s.a0, 0);
+        EXPECT_EQ(s.a0 % 2, 1);
+      } else {
+        EXPECT_TRUE((s.a0 > 0 && s.a0 % 2 == 0) || (s.a0 == 0 && s.a1 > 0));
+      }
+    }
+  }
+}
+
+// The LPS generator set is closed under inversion: negating (a1,a2,a3)
+// maps solutions to solutions.
+TEST(NumTheory, FourSquaresSymmetric) {
+  for (u64 p : {5ull, 13ull, 29ull}) {  // p = 1 mod 4: a0 unchanged
+    auto sols = lps_four_squares(p);
+    std::set<std::tuple<i64, i64, i64, i64>> all;
+    for (const auto& s : sols) all.insert({s.a0, s.a1, s.a2, s.a3});
+    for (const auto& s : sols)
+      EXPECT_TRUE(all.count({s.a0, -s.a1, -s.a2, -s.a3})) << p;
+  }
+}
+
+TEST(NumTheory, PrimePower) {
+  EXPECT_EQ(prime_power(9)->first, 3u);
+  EXPECT_EQ(prime_power(9)->second, 2u);
+  EXPECT_EQ(prime_power(27)->second, 3u);
+  EXPECT_EQ(prime_power(4)->first, 2u);
+  EXPECT_EQ(prime_power(13)->second, 1u);
+  EXPECT_FALSE(prime_power(12).has_value());
+  EXPECT_FALSE(prime_power(1).has_value());
+}
+
+}  // namespace
+}  // namespace sfly::nt

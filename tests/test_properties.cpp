@@ -1,0 +1,200 @@
+// Property-based suites: invariants that must hold across whole parameter
+// sweeps, exercised with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/failures.hpp"
+#include "graph/matching.hpp"
+#include "graph/metrics.hpp"
+#include "partition/bisection.hpp"
+#include "routing/tables.hpp"
+#include "spectral/spectra.hpp"
+#include "topo/factory.hpp"
+#include "topo/jellyfish.hpp"
+#include "util/rng.hpp"
+
+namespace sfly {
+namespace {
+
+// ---------- LPS invariants over the (p,q) sweep ----------
+
+class LpsInvariants
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(LpsInvariants, SizeRadixConnectivityRamanujan) {
+  auto [p, q] = GetParam();
+  topo::LpsParams params{p, q};
+  auto g = topo::lps_graph(params);
+
+  // Closed-form size; (p+1)-regular; connected.
+  EXPECT_EQ(g.num_vertices(), params.num_vertices());
+  std::uint32_t k = 0;
+  ASSERT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, p + 1);
+  EXPECT_TRUE(is_connected(g));
+
+  // Bipartite exactly when the Legendre symbol is -1 (PGL case).
+  EXPECT_EQ(is_bipartite(g), !params.uses_psl());
+
+  // The defining property: lambda(G) <= 2*sqrt(p).
+  auto s = compute_spectra(g);
+  EXPECT_TRUE(s.ramanujan) << params.name() << " lambda=" << s.lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpsInvariants,
+    // All pairs in the Ramanujan range q > 2*sqrt(p).
+    ::testing::Values(std::make_pair(3, 5), std::make_pair(3, 7),
+                      std::make_pair(3, 11), std::make_pair(3, 13),
+                      std::make_pair(5, 7), std::make_pair(5, 11),
+                      std::make_pair(5, 13), std::make_pair(7, 11),
+                      std::make_pair(7, 13), std::make_pair(11, 7),
+                      std::make_pair(11, 13), std::make_pair(13, 11),
+                      std::make_pair(17, 11), std::make_pair(23, 11)));
+
+// ---------- Vertex transitivity (distance profile identical) ----------
+
+class LpsTransitivity
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(LpsTransitivity, UniformDistanceProfile) {
+  auto [p, q] = GetParam();
+  auto g = topo::lps_graph({p, q});
+  auto profile = [&](Vertex v) {
+    auto d = bfs_distances(g, v);
+    std::vector<std::uint32_t> h(32, 0);
+    for (auto x : d) ++h[x];
+    return h;
+  };
+  auto h0 = profile(0);
+  Rng rng(4242);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(profile(static_cast<Vertex>(uniform_below(rng, g.num_vertices()))), h0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LpsTransitivity,
+                         ::testing::Values(std::make_pair(3, 7),
+                                           std::make_pair(5, 11),
+                                           std::make_pair(11, 7)));
+
+// ---------- Routing-table invariants across families ----------
+
+class TablesInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TablesInvariants, TriangleInequalityAndSymmetry) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = topo::lps_graph({5, 7}); break;
+    case 1: g = topo::slimfly_graph({7}); break;
+    case 2: g = topo::bundlefly_graph({13, 3, topo::BundleShift::kAffine}); break;
+    default: g = topo::dragonfly_graph(topo::DragonFlyParams::canonical(8)); break;
+  }
+  auto t = routing::Tables::build(g);
+  const Vertex n = g.num_vertices();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Vertex a = static_cast<Vertex>(uniform_below(rng, n));
+    Vertex b = static_cast<Vertex>(uniform_below(rng, n));
+    Vertex c = static_cast<Vertex>(uniform_below(rng, n));
+    EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    EXPECT_LE(t.distance(a, c), t.distance(a, b) + t.distance(b, c));
+    EXPECT_EQ(t.distance(a, a), 0);
+  }
+  // Every neighbor is at distance exactly 1.
+  for (Vertex v : g.neighbors(0)) EXPECT_EQ(t.distance(0, v), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, TablesInvariants, ::testing::Range(0, 4));
+
+// ---------- Bisection invariants ----------
+
+class BisectionInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BisectionInvariants, BalancedCutConsistentAndBounded) {
+  auto g = topo::jellyfish_graph(
+      {120, 6, GetParam()});  // random 6-regular instances
+  auto r = bisect(g, {.restarts = 2, .seed = GetParam()});
+  // Exact balance.
+  EXPECT_EQ(r.part_sizes[0], 60u);
+  EXPECT_EQ(r.part_sizes[1], 60u);
+  // Cut recount matches and cannot exceed m or go below the Fiedler bound.
+  std::uint64_t recount = 0;
+  for (auto [u, v] : g.edge_list())
+    if (r.side[u] != r.side[v]) ++recount;
+  EXPECT_EQ(recount, r.cut_edges);
+  EXPECT_LE(r.cut_edges, g.num_edges());
+  auto spec = compute_spectra(g);
+  EXPECT_GE(static_cast<double>(r.cut_edges) + 1e-9,
+            spec.bisection_lower_bound(g.num_vertices()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisectionInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- Failure-sampling invariants ----------
+
+class FailureInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureInvariants, MonotoneDegradation) {
+  auto g = topo::slimfly_graph({7});
+  const double f = GetParam() / 10.0;
+  auto h = delete_random_edges(g, f, 1234);
+  EXPECT_EQ(h.num_edges(),
+            g.num_edges() - static_cast<std::size_t>(std::llround(f * g.num_edges())));
+  if (is_connected(h)) {
+    // Deleting edges can only lengthen distances.
+    auto s0 = distance_stats(g);
+    auto s1 = distance_stats(h);
+    EXPECT_GE(s1.mean_distance + 1e-12, s0.mean_distance);
+    EXPECT_GE(s1.diameter, s0.diameter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FailureInvariants, ::testing::Range(0, 6));
+
+// ---------- Matching invariants ----------
+
+class MatchingInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingInvariants, ValidMatchingOnRandomRegular) {
+  auto g = topo::jellyfish_graph({80, 5, GetParam()});
+  auto m = maximal_matching(g, GetParam());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (m[v] == kUnmatched) continue;
+    EXPECT_EQ(m[m[v]], v);
+    EXPECT_TRUE(g.has_edge(v, m[v]));
+  }
+  // Maximality: no edge joins two unmatched vertices.
+  for (auto [u, v] : g.edge_list())
+    EXPECT_FALSE(m[u] == kUnmatched && m[v] == kUnmatched)
+        << u << "-" << v << " both free";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingInvariants, ::testing::Values(11, 22, 33, 44));
+
+// ---------- Spectra sanity across families ----------
+
+class SpectraBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpectraBounds, EigenvaluesWithinDegreeBounds) {
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = topo::lps_graph({7, 11}); break;
+    case 1: g = topo::slimfly_graph({9}); break;
+    case 2: g = topo::paley_graph({29}); break;
+    case 3: g = topo::dragonfly_graph(topo::DragonFlyParams::canonical(10)); break;
+    default: g = topo::jellyfish_graph({200, 8, 5}); break;
+  }
+  auto s = compute_spectra(g);
+  EXPECT_LE(s.lambda2, s.radix + 1e-9);
+  EXPECT_GE(s.lambda_min, -static_cast<double>(s.radix) - 1e-9);
+  EXPECT_GE(s.mu1, -1e-9);
+  EXPECT_LE(s.mu1, 1.0 + 1.0 / s.radix + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SpectraBounds, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sfly

@@ -1,0 +1,151 @@
+#include "routing/policy.hpp"
+#include "routing/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/lps.hpp"
+
+namespace sfly::routing {
+namespace {
+
+Graph cycle_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph grid2d(Vertex r, Vertex c) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  auto id = [&](Vertex i, Vertex j) { return i * c + j; };
+  for (Vertex i = 0; i < r; ++i)
+    for (Vertex j = 0; j < c; ++j) {
+      if (i + 1 < r) e.emplace_back(id(i, j), id(i + 1, j));
+      if (j + 1 < c) e.emplace_back(id(i, j), id(i, j + 1));
+    }
+  return Graph::from_edges(r * c, std::move(e));
+}
+
+TEST(Tables, CycleDistances) {
+  auto g = cycle_graph(10);
+  auto t = Tables::build(g);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.distance(0, 5), 5);
+  EXPECT_EQ(t.distance(0, 9), 1);
+  EXPECT_EQ(t.distance(3, 3), 0);
+}
+
+TEST(Tables, ThrowsOnDisconnected) {
+  auto g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(Tables::build(g), std::runtime_error);
+}
+
+TEST(Tables, MinimalNextHopDiversityOnGrid) {
+  // On a 2D grid, interior vertices have two minimal next hops toward a
+  // diagonal destination.
+  auto g = grid2d(4, 4);
+  auto t = Tables::build(g);
+  std::vector<Vertex> hops;
+  t.minimal_next_hops(g, 0, 15, hops);
+  EXPECT_EQ(hops.size(), 2u);  // right and down
+  t.minimal_next_hops(g, 0, 3, hops);
+  EXPECT_EQ(hops.size(), 1u);  // straight line
+}
+
+TEST(Tables, SampleNextHopAlwaysMinimal) {
+  auto g = grid2d(5, 5);
+  auto t = Tables::build(g);
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    Vertex next = t.sample_next_hop(g, 0, 24, e);
+    EXPECT_EQ(t.distance(next, 24) + 1, t.distance(0, 24));
+  }
+}
+
+TEST(Tables, SampleCoversAllMinimalHops) {
+  auto g = grid2d(4, 4);
+  auto t = Tables::build(g);
+  std::set<Vertex> seen;
+  for (std::uint64_t e = 0; e < 32; ++e) seen.insert(t.sample_next_hop(g, 0, 15, e));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Tables, LpsPathDiversityExists) {
+  // The paper attributes SpectralFly's congestion robustness to minimal
+  // path diversity; check multiple minimal next hops occur for some pairs.
+  auto g = topo::lps_graph({3, 5});
+  auto t = Tables::build(g);
+  std::vector<Vertex> hops;
+  std::size_t multi = 0;
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    t.minimal_next_hops(g, 0, v, hops);
+    ASSERT_GE(hops.size(), 1u);
+    if (hops.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(Policy, RequiredVcsPerPaper) {
+  EXPECT_EQ(required_vcs(Algo::kMinimal, 3), 4u);   // d + 1
+  EXPECT_EQ(required_vcs(Algo::kValiant, 3), 7u);   // 2d + 1
+  EXPECT_EQ(required_vcs(Algo::kUgalL, 4), 9u);
+}
+
+TEST(Policy, MinimalNeverValiant) {
+  auto g = cycle_graph(8);
+  auto t = Tables::build(g);
+  auto r = source_decision(Algo::kMinimal, g, t, 0, 4, 123, nullptr);
+  EXPECT_FALSE(r.valiant);
+}
+
+TEST(Policy, ValiantPicksDistinctIntermediate) {
+  auto g = cycle_graph(16);
+  auto t = Tables::build(g);
+  for (std::uint64_t e = 1; e <= 40; ++e) {
+    auto r = source_decision(Algo::kValiant, g, t, 2, 9, e, nullptr);
+    EXPECT_TRUE(r.valiant);
+    EXPECT_NE(r.intermediate, 2u);
+    EXPECT_NE(r.intermediate, 9u);
+  }
+}
+
+TEST(Policy, UgalPrefersMinimalWhenIdle) {
+  auto g = cycle_graph(16);
+  auto t = Tables::build(g);
+  auto probe = [](Vertex, Vertex) -> std::uint64_t { return 0; };
+  for (std::uint64_t e = 1; e <= 20; ++e) {
+    auto r = source_decision(Algo::kUgalL, g, t, 0, 5, e, probe);
+    EXPECT_FALSE(r.valiant) << "idle network must route minimally";
+  }
+}
+
+TEST(Policy, UgalDivertsUnderCongestion) {
+  // Make the minimal direction look congested and the detour free.
+  auto g = cycle_graph(16);
+  auto t = Tables::build(g);
+  // src 0 -> dst 3: minimal goes via neighbor 1; make port(0->1) loaded.
+  auto probe = [](Vertex at, Vertex next) -> std::uint64_t {
+    return (at == 0 && next == 1) ? 1'000'000 : 0;
+  };
+  std::size_t diverted = 0;
+  for (std::uint64_t e = 1; e <= 50; ++e) {
+    auto r = source_decision(Algo::kUgalL, g, t, 0, 3, e, probe);
+    if (r.valiant) ++diverted;
+  }
+  EXPECT_GT(diverted, 25u);
+}
+
+TEST(Policy, NextHopAdvancesValiantPhase) {
+  auto g = cycle_graph(12);
+  auto t = Tables::build(g);
+  PacketRoute r;
+  r.valiant = true;
+  r.intermediate = 3;
+  // At the intermediate the phase flips and we head to the destination.
+  Vertex next = next_hop(g, t, 3, 9, r, 7);
+  EXPECT_EQ(r.phase, 1);
+  EXPECT_EQ(t.distance(next, 9) + 1, t.distance(3, 9));
+}
+
+}  // namespace
+}  // namespace sfly::routing

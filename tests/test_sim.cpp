@@ -1,0 +1,233 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/motifs.hpp"
+#include "sim/traffic.hpp"
+#include "topo/lps.hpp"
+
+namespace sfly::sim {
+namespace {
+
+Graph pair_graph() { return Graph::from_edges(2, {{0, 1}}); }
+
+Graph cycle_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+SimConfig small_cfg() {
+  SimConfig cfg;
+  cfg.concentration = 1;
+  cfg.vcs = 4;
+  cfg.packet_bytes = 4096;
+  return cfg;
+}
+
+TEST(Simulator, SingleMessageLatencyAnalytic) {
+  auto g = pair_graph();
+  auto t = routing::Tables::build(g);
+  auto cfg = small_cfg();
+  Simulator sim(g, t, cfg);
+  sim.send(0, 1, 4096, 0.0);
+  EXPECT_TRUE(sim.run());
+  // inject-ser + (link+router) + hop-ser + (link+router) + eject-ser + nic.
+  double ser = 4096 / cfg.bandwidth_bytes_per_ns;
+  double expect = 3 * ser + 2 * (cfg.link_latency_ns + cfg.router_latency_ns) +
+                  cfg.nic_latency_ns;
+  EXPECT_NEAR(sim.message_latency().max(), expect, 1e-6);
+  EXPECT_EQ(sim.message_latency().count(), 1u);
+}
+
+TEST(Simulator, IntraRouterMessage) {
+  auto g = pair_graph();
+  auto t = routing::Tables::build(g);
+  auto cfg = small_cfg();
+  cfg.concentration = 2;  // endpoints 0,1 on router 0
+  Simulator sim(g, t, cfg);
+  sim.send(0, 1, 4096, 0.0);
+  EXPECT_TRUE(sim.run());
+  double ser = 4096 / cfg.bandwidth_bytes_per_ns;
+  double expect = 2 * ser + cfg.link_latency_ns + cfg.router_latency_ns +
+                  cfg.nic_latency_ns;
+  EXPECT_NEAR(sim.message_latency().max(), expect, 1e-6);
+}
+
+TEST(Simulator, MessageSegmentation) {
+  auto g = pair_graph();
+  auto t = routing::Tables::build(g);
+  auto cfg = small_cfg();
+  cfg.packet_bytes = 1024;
+  Simulator sim(g, t, cfg);
+  sim.send(0, 1, 4096, 0.0);  // four packets
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(sim.message_latency().count(), 1u);  // one message delivered
+  EXPECT_GE(sim.packets_forwarded(), 4u * 3u);   // 4 packets x 3 ports
+  // Pipelining: faster than 4 store-and-forward full-message hops.
+  double ser_full = 4096 / cfg.bandwidth_bytes_per_ns;
+  EXPECT_LT(sim.message_latency().max(),
+            3 * ser_full + 2 * (cfg.link_latency_ns + cfg.router_latency_ns) +
+                cfg.nic_latency_ns);
+}
+
+TEST(Simulator, FifoSerializationUnderContention) {
+  // Two sources send to the same destination endpoint: the ejection link
+  // serializes; completion reflects the bottleneck.
+  auto g = cycle_graph(4);
+  auto t = routing::Tables::build(g);
+  auto cfg = small_cfg();
+  Simulator sim(g, t, cfg);
+  const int kMsgs = 16;
+  for (int i = 0; i < kMsgs; ++i) {
+    sim.send(1, 0, 4096, 0.0);
+    sim.send(3, 0, 4096, 0.0);
+  }
+  EXPECT_TRUE(sim.run());
+  double ser = 4096 / cfg.bandwidth_bytes_per_ns;
+  // 32 messages through one ejection port: at least 32 serializations.
+  EXPECT_GE(sim.completion_time(), 2 * kMsgs * ser);
+}
+
+TEST(Simulator, BackpressureDoesNotDeadlock) {
+  auto g = cycle_graph(8);
+  auto t = routing::Tables::build(g);
+  auto cfg = small_cfg();
+  cfg.vc_buffer_bytes = 4096;  // single packet per VC buffer
+  cfg.vcs = static_cast<std::uint32_t>(t.diameter()) + 1;
+  Simulator sim(g, t, cfg);
+  for (EndpointId e = 0; e < 8; ++e)
+    for (int m = 0; m < 20; ++m)
+      sim.send(e, (e + 4) % 8, 4096, 0.0);  // worst-case distance
+  EXPECT_TRUE(sim.run()) << "credit-based sim must drain with hop-indexed VCs";
+  EXPECT_EQ(sim.message_latency().count(), 160u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto g = cycle_graph(6);
+  auto t = routing::Tables::build(g);
+  auto run_once = [&] {
+    auto cfg = small_cfg();
+    cfg.algo = routing::Algo::kUgalL;
+    cfg.vcs = 2 * t.diameter() + 1;
+    Simulator sim(g, t, cfg);
+    for (EndpointId e = 0; e < 6; ++e)
+      for (int m = 0; m < 10; ++m) sim.send(e, (e + 3) % 6, 2048, 100.0 * m);
+    EXPECT_TRUE(sim.run());
+    return sim.completion_time();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Simulator, ValiantLongerThanMinimalAtLowLoad) {
+  auto g = topo::lps_graph({3, 5});
+  auto t = routing::Tables::build(g);
+  auto run_algo = [&](routing::Algo a) {
+    auto cfg = small_cfg();
+    cfg.algo = a;
+    cfg.vcs = routing::required_vcs(a, t.diameter());
+    Simulator sim(g, t, cfg);
+    for (EndpointId e = 0; e < sim.num_endpoints(); e += 7)
+      sim.send(e, (e + 41) % sim.num_endpoints(), 2048, e * 500.0);
+    EXPECT_TRUE(sim.run());
+    return sim.message_latency().mean();
+  };
+  EXPECT_GT(run_algo(routing::Algo::kValiant), run_algo(routing::Algo::kMinimal));
+}
+
+TEST(Traffic, PatternDestinations) {
+  // 8 ranks, 3 bits.
+  EXPECT_EQ(pattern_destination(Pattern::kShuffle, 0b011, 3, 0), 0b110u);
+  EXPECT_EQ(pattern_destination(Pattern::kShuffle, 0b100, 3, 0), 0b001u);
+  EXPECT_EQ(pattern_destination(Pattern::kBitReverse, 0b100, 3, 0), 0b001u);
+  EXPECT_EQ(pattern_destination(Pattern::kBitReverse, 0b110, 3, 0), 0b011u);
+  // 4 bits transpose: swap halves.
+  EXPECT_EQ(pattern_destination(Pattern::kTranspose, 0b0111, 4, 0), 0b1101u);
+  EXPECT_EQ(pattern_destination(Pattern::kTranspose, 0b0010, 4, 0), 0b1000u);
+  // Random stays in range.
+  for (std::uint64_t e = 0; e < 100; ++e)
+    EXPECT_LT(pattern_destination(Pattern::kRandom, 5, 4, e * 2654435761ull), 16u);
+}
+
+TEST(Traffic, TransposeIsInvolution) {
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    auto d = pattern_destination(Pattern::kTranspose, r, 6, 0);
+    EXPECT_EQ(pattern_destination(Pattern::kTranspose, d, 6, 0), r);
+  }
+}
+
+TEST(Traffic, PlaceRanksSortedUnique) {
+  auto placement = place_ranks(16, 100, 7);
+  EXPECT_EQ(placement.size(), 16u);
+  for (std::size_t i = 1; i < placement.size(); ++i)
+    EXPECT_LT(placement[i - 1], placement[i]);
+  EXPECT_LT(placement.back(), 100u);
+  EXPECT_THROW(place_ranks(101, 100, 7), std::invalid_argument);
+}
+
+TEST(Traffic, SyntheticRunDeliversAll) {
+  auto g = topo::lps_graph({3, 5});  // 120 routers
+  auto t = routing::Tables::build(g);
+  SimConfig cfg;
+  cfg.concentration = 2;
+  cfg.algo = routing::Algo::kMinimal;
+  cfg.vcs = routing::required_vcs(cfg.algo, t.diameter());
+  Simulator sim(g, t, cfg);
+  SyntheticLoad load;
+  load.pattern = Pattern::kShuffle;
+  load.nranks = 128;
+  load.messages_per_rank = 8;
+  load.offered_load = 0.3;
+  auto res = run_synthetic(sim, load);
+  EXPECT_EQ(res.messages, 128u * 8u);
+  EXPECT_GT(res.max_latency_ns, 0.0);
+  EXPECT_GE(res.max_latency_ns, res.mean_latency_ns);
+}
+
+TEST(Motifs, HaloMessageCountAndCompletion) {
+  auto g = cycle_graph(16);
+  auto t = routing::Tables::build(g);
+  SimConfig cfg;
+  cfg.concentration = 2;
+  cfg.vcs = routing::required_vcs(cfg.algo, t.diameter());
+  Simulator sim(g, t, cfg);
+  Halo3D26 halo(3, 3, 3, 2, 1024, 256, 64);
+  auto res = run_motif(sim, halo, 3);
+  EXPECT_EQ(res.messages, 27u * 26u * 2u);
+  EXPECT_GT(res.completion_ns, 0.0);
+}
+
+TEST(Motifs, SweepMessageCount) {
+  auto g = cycle_graph(16);
+  auto t = routing::Tables::build(g);
+  SimConfig cfg;
+  cfg.concentration = 2;
+  cfg.vcs = routing::required_vcs(cfg.algo, t.diameter());
+  Simulator sim(g, t, cfg);
+  Sweep3D sweep(4, 4, 4, 2048);
+  auto res = run_motif(sim, sweep, 5);
+  // Per sweep: (px-1)*py horizontal + px*(py-1) vertical messages.
+  EXPECT_EQ(res.messages, 4u * (3 * 4 + 4 * 3));
+}
+
+TEST(Motifs, FftMessageCountBothPhases) {
+  auto g = cycle_graph(16);
+  auto t = routing::Tables::build(g);
+  SimConfig cfg;
+  cfg.concentration = 2;
+  cfg.vcs = routing::required_vcs(cfg.algo, t.diameter());
+  Simulator sim(g, t, cfg);
+  FftAllToAll fft(4, 4, 2048);
+  auto res = run_motif(sim, fft, 11);
+  EXPECT_EQ(res.messages, 16u * 3u + 16u * 3u);
+}
+
+TEST(Motifs, UnbalancedFftNameAndShape) {
+  FftAllToAll bal(4, 4), unbal(8, 2);
+  EXPECT_EQ(bal.name(), "FFT(balanced)");
+  EXPECT_EQ(unbal.name(), "FFT(unbalanced)");
+  EXPECT_EQ(unbal.num_ranks(), 16u);
+}
+
+}  // namespace
+}  // namespace sfly::sim

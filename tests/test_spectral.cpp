@@ -1,0 +1,149 @@
+#include "spectral/spectra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "spectral/dense_eig.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace sfly {
+namespace {
+
+Graph cycle_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph complete_graph(Vertex n) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph::from_edges(n, std::move(e));
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b; ++j) e.emplace_back(i, a + j);
+  return Graph::from_edges(a + b, std::move(e));
+}
+
+Graph petersen() {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < 5; ++i) {
+    e.emplace_back(i, (i + 1) % 5);
+    e.emplace_back(i + 5, (i + 2) % 5 + 5);
+    e.emplace_back(i, i + 5);
+  }
+  return Graph::from_edges(10, std::move(e));
+}
+
+TEST(DenseEig, DiagonalMatrix) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  auto e = symmetric_eigenvalues(a, 3);
+  EXPECT_NEAR(e[0], 1.0, 1e-10);
+  EXPECT_NEAR(e[1], 2.0, 1e-10);
+  EXPECT_NEAR(e[2], 3.0, 1e-10);
+}
+
+TEST(DenseEig, TwoByTwo) {
+  // [[2,1],[1,2]] -> {1, 3}
+  auto e = symmetric_eigenvalues({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(e[0], 1.0, 1e-10);
+  EXPECT_NEAR(e[1], 3.0, 1e-10);
+}
+
+TEST(DenseEig, TridiagonalMatchesJacobi) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = 3 + trial;
+    std::vector<double> d(n), e(n - 1);
+    for (auto& x : d) x = u(rng);
+    for (auto& x : e) x = u(rng);
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) dense[i * n + i] = d[i];
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      dense[i * n + i + 1] = dense[(i + 1) * n + i] = e[i];
+    auto a = tridiagonal_eigenvalues(d, e);
+    auto b = symmetric_eigenvalues(dense, n);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(a[i], b[i], 1e-8) << trial;
+  }
+}
+
+TEST(Lanczos, CompleteGraphSpectrum) {
+  // K_n has eigenvalues {n-1, -1^(n-1)}; deflating the ones vector leaves -1.
+  auto g = complete_graph(10);
+  auto r = adjacency_extreme_eigenvalues(g, {std::vector<double>(10, 1.0)});
+  EXPECT_NEAR(r.max_eig, -1.0, 1e-8);
+  EXPECT_NEAR(r.min_eig, -1.0, 1e-8);
+}
+
+TEST(Lanczos, CycleSecondEigenvalue) {
+  // C_n: eigenvalues 2cos(2*pi*j/n); second largest = 2cos(2*pi/n).
+  const Vertex n = 24;
+  auto r = adjacency_extreme_eigenvalues(cycle_graph(n),
+                                         {std::vector<double>(n, 1.0)});
+  EXPECT_NEAR(r.max_eig, 2.0 * std::cos(2.0 * M_PI / n), 1e-8);
+  EXPECT_NEAR(r.min_eig, -2.0, 1e-6);  // n even -> bipartite -> -2 present
+}
+
+TEST(Spectra, PetersenIsRamanujanWithLambda2) {
+  // Petersen spectrum: 3, 1 (x5), -2 (x4) -> lambda = 2, mu1 = 1/3.
+  auto s = compute_spectra(petersen());
+  EXPECT_EQ(s.radix, 3u);
+  EXPECT_FALSE(s.bipartite);
+  EXPECT_NEAR(s.lambda2, 1.0, 1e-8);
+  EXPECT_NEAR(s.lambda_min, -2.0, 1e-8);
+  EXPECT_NEAR(s.lambda, 2.0, 1e-8);
+  EXPECT_NEAR(s.mu1, 1.0 / 3.0, 1e-8);
+  EXPECT_TRUE(s.ramanujan);  // 2 <= 2*sqrt(2)
+}
+
+TEST(Spectra, CompleteBipartiteDeflatesMinusK) {
+  // K_{5,5} spectrum: ±5 and 0^8. With -k deflated, extremes are 0.
+  auto s = compute_spectra(complete_bipartite(5, 5));
+  EXPECT_TRUE(s.bipartite);
+  EXPECT_NEAR(s.lambda2, 0.0, 1e-7);
+  EXPECT_NEAR(s.lambda_min, 0.0, 1e-7);
+  EXPECT_NEAR(s.mu1, 1.0, 1e-7);
+  EXPECT_TRUE(s.ramanujan);
+}
+
+TEST(Spectra, CompleteGraphGap) {
+  auto s = compute_spectra(complete_graph(8));
+  EXPECT_NEAR(s.lambda2, -1.0, 1e-8);
+  EXPECT_NEAR(s.lambda, 1.0, 1e-8);
+  EXPECT_NEAR(s.mu1, (7.0 - 1.0) / 7.0, 1e-8);
+}
+
+TEST(Spectra, OddCycleNotGreatExpander) {
+  auto s = compute_spectra(cycle_graph(17));
+  EXPECT_NEAR(s.lambda2, 2.0 * std::cos(2.0 * M_PI / 17), 1e-8);
+  EXPECT_FALSE(s.bipartite);
+  // lambda close to 2 = k: tiny spectral gap.
+  EXPECT_LT(s.mu1, 0.07);
+}
+
+TEST(Spectra, FiedlerBoundSane) {
+  // K_8: lambda2 = -1, bound = (7+1)*8/4 = 16 = exact bisection (4*4 edges).
+  auto s = compute_spectra(complete_graph(8));
+  EXPECT_NEAR(s.bisection_lower_bound(8), 16.0, 1e-6);
+}
+
+TEST(Spectra, RamanujanBoundValues) {
+  EXPECT_NEAR(ramanujan_bound(4), 2.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(ramanujan_bound(12), 2.0 * std::sqrt(11.0), 1e-12);
+}
+
+TEST(Spectra, RequiresRegular) {
+  auto g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(compute_spectra(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfly
