@@ -1,8 +1,15 @@
 // Ablation — routing-scheme and virtual-channel design choices on
 // SpectralFly (DESIGN.md §5): the paper's three schemes plus the library's
 // UGAL-G and adaptive-minimal extensions, and the VC-pool sizing rule.
+//
+// Engine-backed: all (load x algo) and VC-sizing points are independent
+// simulations over ONE topology, so the engine's artifact cache builds the
+// graph and all-pairs routing tables once and every scenario shares them
+// (the seed version rebuilt the tables for each of its 18 runs).
 
 #include "bench_common.hpp"
+
+#include "engine/engine.hpp"
 
 using namespace sfly;
 
@@ -10,8 +17,9 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Ablation: routing schemes and VC sizing on SpectralFly",
-      "#   --ranks N  MPI ranks (default 512)\n"
-      "#   --msgs N   messages per rank (default 16)");
+      "#   --ranks N    MPI ranks (default 512)\n"
+      "#   --msgs N     messages per rank (default 16)\n"
+      "#   --threads N  engine worker threads (default: all hardware threads)");
   const std::uint32_t nranks =
       static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 2048 : 512));
   const std::uint32_t msgs = static_cast<std::uint32_t>(flags.get("--msgs", 16));
@@ -19,47 +27,71 @@ int main(int argc, char** argv) {
   auto topos = bench::simulation_topologies(false);
   const auto& sf = topos[0];  // SpectralFly
 
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+  const Graph& sf_graph = sf.graph;
+  eng.register_topology(sf.name, [&sf_graph] { return sf_graph; },
+                        sf.concentration);
+
   const routing::Algo algos[] = {routing::Algo::kMinimal, routing::Algo::kAdaptiveMin,
                                  routing::Algo::kValiant, routing::Algo::kUgalL,
                                  routing::Algo::kUgalG};
+  const double loads[] = {0.2, 0.4, 0.6};
+
+  auto scenario = [&](routing::Algo algo, double load, std::uint32_t vcs) {
+    engine::Scenario s;
+    s.topology = sf.name;
+    s.kind = engine::Kind::kSimulate;
+    s.algo = algo;
+    s.pattern = sim::Pattern::kShuffle;
+    s.offered_load = load;
+    s.nranks = nranks;
+    s.messages_per_rank = msgs;
+    s.vcs = vcs;
+    s.seed = 42;
+    return s;
+  };
+
+  // One batch for the routing grid; rows are load-major, columns algo-minor.
+  std::vector<engine::Scenario> grid;
+  for (double load : loads)
+    for (auto algo : algos) grid.push_back(scenario(algo, load, 0));
+  auto grid_results = eng.run(grid);
 
   std::printf("== Routing-scheme ablation (max message time, %s pattern) ==\n",
               sim::pattern_name(sim::Pattern::kShuffle));
   Table t({"Load", "minimal", "adaptive-min", "valiant", "ugal-l", "ugal-g"});
-  for (double load : {0.2, 0.4, 0.6}) {
+  std::size_t at = 0;
+  for (double load : loads) {
     std::vector<std::string> row{Table::num(load, 1)};
-    for (auto algo : algos)
-      row.push_back(Table::num(bench::run_pattern(sf, algo, sim::Pattern::kShuffle,
-                                                  load, nranks, msgs, 42) / 1000.0,
-                               1));
+    for (std::size_t a = 0; a < std::size(algos); ++a, ++at)
+      row.push_back(grid_results[at].ok
+                        ? Table::num(grid_results[at].max_latency_ns / 1000.0, 1)
+                        : "ERR");
     t.add_row(std::move(row));
   }
   t.print();
   std::printf("# (values in microseconds; lower is better)\n\n");
 
   // VC sizing ablation: the paper's rule (2d+1 for UGAL) vs a starved pool.
+  // The diameter comes from the cached tables — no rebuild.
   std::printf("== VC-pool ablation (UGAL-L, bit-shuffle @ 0.5) ==\n");
+  const std::uint32_t paper_vcs =
+      2 * eng.artifacts().get(sf.name)->tables()->diameter() + 1;
+  const std::uint32_t vc_points[] = {paper_vcs, paper_vcs / 2 + 1, 2u};
+  std::vector<engine::Scenario> vc_batch;
+  for (std::uint32_t vcs : vc_points)
+    vc_batch.push_back(scenario(routing::Algo::kUgalL, 0.5, vcs));
+  auto vc_results = eng.run(vc_batch);
+
   Table t2({"VCs", "Max message us"});
-  core::NetworkOptions base;
-  base.concentration = sf.concentration;
-  base.routing = routing::Algo::kUgalL;
-  auto probe_vcs = [&](std::uint32_t vcs) {
-    core::NetworkOptions opts = base;
-    opts.vcs = vcs;
-    auto net = core::Network::from_graph(sf.name, sf.graph, opts);
-    auto simulator = net.make_simulator(42);
-    sim::SyntheticLoad sl;
-    sl.pattern = sim::Pattern::kShuffle;
-    sl.nranks = nranks;
-    sl.messages_per_rank = msgs;
-    sl.offered_load = 0.5;
-    return run_synthetic(*simulator, sl).max_latency_ns / 1000.0;
-  };
-  auto net_probe = core::Network::from_graph(sf.name, sf.graph, base);
-  const std::uint32_t paper_vcs = 2 * net_probe.diameter() + 1;
-  for (std::uint32_t vcs : {paper_vcs, paper_vcs / 2 + 1, 2u})
-    t2.add_row({std::to_string(vcs) + (vcs == paper_vcs ? " (paper rule)" : ""),
-                Table::num(probe_vcs(vcs), 1)});
+  for (std::size_t i = 0; i < std::size(vc_points); ++i)
+    t2.add_row({std::to_string(vc_points[i]) +
+                    (vc_points[i] == paper_vcs ? " (paper rule)" : ""),
+                vc_results[i].ok
+                    ? Table::num(vc_results[i].max_latency_ns / 1000.0, 1)
+                    : "ERR"});
   t2.print();
   std::printf("# Fewer VCs than hops shares the top channel among tail hops; at\n"
               "# moderate load the effect is mild, under saturation it grows.\n");

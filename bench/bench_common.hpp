@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -36,10 +37,29 @@ class Flags {
   }
   [[nodiscard]] std::uint64_t get(const std::string& name, std::uint64_t dflt) const {
     for (std::size_t i = 0; i + 1 < args_.size(); ++i)
-      if (args_[i] == name) return std::stoull(args_[i + 1]);
+      if (args_[i] == name) {
+        // stoull silently wraps negatives ("-1" -> 2^64-1), so insist on a
+        // leading digit before parsing.
+        const std::string& v = args_[i + 1];
+        if (!v.empty() && v[0] >= '0' && v[0] <= '9') {
+          try {
+            return std::stoull(v);
+          } catch (const std::exception&) {
+            // fall through to the shared error path
+          }
+        }
+        std::fprintf(stderr, "error: %s expects a non-negative number, got '%s'\n",
+                     name.c_str(), v.c_str());
+        std::exit(2);
+      }
     return dflt;
   }
   [[nodiscard]] bool full() const { return has("--full"); }
+
+  /// Worker threads for engine-backed benches (0 = all hardware threads).
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(get("--threads", 0));
+  }
 
   static void usage(const char* what, const char* extra = "") {
     std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",

@@ -2,9 +2,14 @@
 
 namespace sfly::core {
 
-Network::Network(std::string name, Graph g, NetworkOptions opts)
-    : name_(std::move(name)), topology_(std::move(g)), opts_(opts) {
-  tables_ = std::make_shared<routing::Tables>(routing::Tables::build(topology_));
+Network::Network(std::string name, Graph g, NetworkOptions opts,
+                 std::shared_ptr<const routing::Tables> tables)
+    : name_(std::move(name)),
+      topology_(std::move(g)),
+      opts_(opts),
+      tables_(std::move(tables)) {
+  if (!tables_)
+    tables_ = std::make_shared<routing::Tables>(routing::Tables::build(topology_));
   if (opts_.vcs == 0)
     opts_.vcs = routing::required_vcs(opts_.routing, tables_->diameter());
 }
@@ -15,6 +20,12 @@ Network Network::spectralfly(const topo::LpsParams& params, const NetworkOptions
 
 Network Network::from_graph(std::string name, Graph topology, const NetworkOptions& opts) {
   return Network(std::move(name), std::move(topology), opts);
+}
+
+Network Network::from_graph_shared_tables(std::string name, Graph topology,
+                                          std::shared_ptr<const routing::Tables> tables,
+                                          const NetworkOptions& opts) {
+  return Network(std::move(name), std::move(topology), opts, std::move(tables));
 }
 
 const Spectra& Network::spectra() const {

@@ -37,6 +37,14 @@ class Network {
   static Network from_graph(std::string name, Graph topology,
                             const NetworkOptions& opts = {});
 
+  /// Wrap a topology with pre-built routing tables (e.g. shared out of an
+  /// engine::ArtifactCache), skipping the all-pairs BFS.  `tables` must
+  /// have been built over `topology`.
+  static Network from_graph_shared_tables(
+      std::string name, Graph topology,
+      std::shared_ptr<const routing::Tables> tables,
+      const NetworkOptions& opts = {});
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Graph& topology() const { return topology_; }
   [[nodiscard]] const routing::Tables& tables() const { return *tables_; }
@@ -57,12 +65,13 @@ class Network {
       std::uint64_t seed = 1) const;
 
  private:
-  Network(std::string name, Graph g, NetworkOptions opts);
+  Network(std::string name, Graph g, NetworkOptions opts,
+          std::shared_ptr<const routing::Tables> tables = nullptr);
 
   std::string name_;
   Graph topology_;
   NetworkOptions opts_;
-  std::shared_ptr<routing::Tables> tables_;
+  std::shared_ptr<const routing::Tables> tables_;
   mutable std::unique_ptr<Spectra> spectra_;
 };
 

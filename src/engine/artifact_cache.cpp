@@ -1,0 +1,56 @@
+#include "engine/artifact_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sfly::engine {
+
+std::shared_ptr<const Graph> Artifacts::graph() {
+  std::call_once(graph_once_,
+                 [this] { graph_ = std::make_shared<const Graph>(build_()); });
+  return graph_;
+}
+
+std::shared_ptr<const routing::Tables> Artifacts::tables() {
+  std::call_once(tables_once_, [this] {
+    tables_ = std::make_shared<const routing::Tables>(routing::Tables::build(*graph()));
+  });
+  return tables_;
+}
+
+std::shared_ptr<const Spectra> Artifacts::spectra() {
+  std::call_once(spectra_once_, [this] {
+    spectra_ = std::make_shared<const Spectra>(compute_spectra(*graph()));
+  });
+  return spectra_;
+}
+
+void ArtifactCache::register_topology(std::string name, std::function<Graph()> build,
+                                      std::uint32_t concentration) {
+  auto entry = std::make_shared<Artifacts>(std::move(build), concentration);
+  std::unique_lock lock(mu_);
+  entries_[std::move(name)] = std::move(entry);
+}
+
+std::shared_ptr<Artifacts> ArtifactCache::get(const std::string& name) const {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::out_of_range("unknown topology: " + name);
+  return it->second;
+}
+
+bool ArtifactCache::contains(const std::string& name) const {
+  std::unique_lock lock(mu_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ArtifactCache::names() const {
+  std::unique_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace sfly::engine

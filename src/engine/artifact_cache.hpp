@@ -1,0 +1,64 @@
+#pragma once
+// Per-topology artifact cache.  Building a topology's graph, all-pairs
+// routing tables, and spectra dominates the cost of small-scenario sweeps
+// and is identical across every scenario that names the same topology, so
+// the engine computes each artifact once (thread-safe, lazily) and hands
+// out shared pointers.  Failure-perturbed scenarios reuse the cached
+// pristine graph as their base and derive the rest per scenario.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/tables.hpp"
+#include "spectral/spectra.hpp"
+
+namespace sfly::engine {
+
+/// Lazily materialized per-topology artifacts.  Thread-safe: concurrent
+/// callers block until the single builder finishes, then share the result.
+class Artifacts {
+ public:
+  Artifacts(std::function<Graph()> build, std::uint32_t concentration)
+      : build_(std::move(build)), concentration_(concentration) {}
+
+  [[nodiscard]] std::uint32_t concentration() const { return concentration_; }
+
+  [[nodiscard]] std::shared_ptr<const Graph> graph();
+  [[nodiscard]] std::shared_ptr<const routing::Tables> tables();
+  [[nodiscard]] std::shared_ptr<const Spectra> spectra();
+
+ private:
+  std::function<Graph()> build_;
+  std::uint32_t concentration_;
+  std::once_flag graph_once_, tables_once_, spectra_once_;
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const routing::Tables> tables_;
+  std::shared_ptr<const Spectra> spectra_;
+};
+
+class ArtifactCache {
+ public:
+  /// Register a topology under `name`; `build` is deferred until the first
+  /// scenario needs the graph.  Re-registering a name replaces the entry
+  /// (and drops the old artifacts).
+  void register_topology(std::string name, std::function<Graph()> build,
+                         std::uint32_t concentration = 8);
+
+  /// Shared artifact set for `name`; throws std::out_of_range if unknown.
+  [[nodiscard]] std::shared_ptr<Artifacts> get(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Artifacts>> entries_;
+};
+
+}  // namespace sfly::engine

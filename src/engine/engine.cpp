@@ -1,0 +1,211 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/failures.hpp"
+#include "graph/metrics.hpp"
+#include "partition/bisection.hpp"
+#include "sim/traffic.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace sfly::engine {
+
+namespace {
+
+// Seed stream tag for the failure sampler, so link deletion and e.g.
+// traffic generation never consume the same stream of a scenario seed.
+constexpr std::uint64_t kFailureStream = 0xFA11;
+
+std::uint32_t largest_pow2_at_most(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (2ull * p <= n) p *= 2;
+  return p;
+}
+
+void eval_structure(const Scenario& s, const Graph& g, Result& r) {
+  auto stats = distance_stats(g);
+  r.connected = stats.connected;
+  if (stats.connected) {
+    r.diameter = stats.diameter;
+    r.mean_hops = stats.mean_distance;
+  }
+  BisectionOptions opts;
+  opts.restarts = s.bisection_restarts;
+  opts.seed = s.seed;
+  const std::uint64_t cut = bisection_bandwidth(g, opts);
+  r.bisection = static_cast<double>(cut);
+  r.normalized_bisection = normalized_cut(g, cut);
+}
+
+void eval_spectral(const Spectra& sp, Result& r) {
+  r.lambda = sp.lambda;
+  r.mu1 = sp.mu1;
+  r.ramanujan = sp.ramanujan;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kStructure: return "structure";
+    case Kind::kSpectral: return "spectral";
+    case Kind::kSimulate: return "simulate";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {}
+
+void Engine::register_topology(std::string name, std::function<Graph()> build,
+                               std::uint32_t concentration) {
+  cache_.register_topology(std::move(name), std::move(build), concentration);
+}
+
+Result Engine::evaluate(const Scenario& s, std::size_t index) {
+  Result r;
+  r.index = index;
+  r.topology = s.topology;
+  r.kind = s.kind;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto art = cache_.get(s.topology);
+
+    // Resolve the evaluation graph: the cached pristine one, or a seeded
+    // failure-perturbed derivative (never cached — it is scenario-local).
+    std::shared_ptr<const Graph> base = art->graph();
+    std::shared_ptr<const Graph> g = base;
+    if (s.failure_fraction > 0.0)
+      g = std::make_shared<const Graph>(delete_random_edges(
+          *base, s.failure_fraction, split_seed(s.seed, kFailureStream)));
+
+    switch (s.kind) {
+      case Kind::kStructure:
+        eval_structure(s, *g, r);
+        break;
+      case Kind::kSpectral:
+        if (g == base) {
+          eval_spectral(*art->spectra(), r);
+        } else {
+          eval_spectral(compute_spectra(*g), r);
+        }
+        break;
+      case Kind::kSimulate: {
+        std::shared_ptr<const routing::Tables> tables =
+            g == base ? art->tables()
+                      : std::make_shared<const routing::Tables>(
+                            routing::Tables::build(*g));
+        sim::SimConfig sc = cfg_.sim;
+        sc.concentration = art->concentration();
+        sc.algo = s.algo;
+        sc.vcs = s.vcs ? s.vcs : routing::required_vcs(s.algo, tables->diameter());
+        sc.seed = s.seed;
+        sim::Simulator sim(*g, *tables, sc);
+
+        sim::SyntheticLoad load;
+        load.pattern = s.pattern;
+        load.nranks = s.nranks ? s.nranks
+                               : largest_pow2_at_most(sim.num_endpoints());
+        load.message_bytes = s.message_bytes;
+        load.messages_per_rank = s.messages_per_rank;
+        load.offered_load = s.offered_load;
+        load.seed = s.seed;
+        auto res = run_synthetic(sim, load);
+        r.diameter = tables->diameter();
+        r.max_latency_ns = res.max_latency_ns;
+        r.mean_latency_ns = res.mean_latency_ns;
+        r.p99_latency_ns = res.p99_latency_ns;
+        r.completion_ns = res.completion_ns;
+        r.messages = res.messages;
+        break;
+      }
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+std::vector<Result> Engine::run(const std::vector<Scenario>& batch) {
+  std::vector<Result> results(batch.size());
+  TaskPool pool(cfg_.threads);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    pool.submit([this, &batch, &results, i] { results[i] = evaluate(batch[i], i); });
+  pool.wait();
+  return results;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Engine::csv(const std::vector<Result>& results) {
+  std::ostringstream out;
+  out << "index,topology,kind,ok,error,connected,diameter,mean_hops,bisection,"
+         "normalized_bisection,lambda,mu1,ramanujan,max_latency_ns,"
+         "mean_latency_ns,p99_latency_ns,completion_ns,messages,wall_ms\n";
+  // Topology names legitimately contain commas ("LPS(3,5)"); quote them
+  // and the free-text error field per RFC 4180.
+  auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  for (const auto& r : results) {
+    out << r.index << ',' << quoted(r.topology) << ',' << kind_name(r.kind) << ','
+        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << (r.connected ? 1 : 0) << ','
+        << fmt(r.diameter) << ',' << fmt(r.mean_hops) << ',' << fmt(r.bisection)
+        << ',' << fmt(r.normalized_bisection) << ',' << fmt(r.lambda) << ','
+        << fmt(r.mu1) << ',' << (r.ramanujan ? 1 : 0) << ','
+        << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
+        << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
+        << r.messages << ',' << fmt(r.wall_ms) << '\n';
+  }
+  return out.str();
+}
+
+void Engine::write_csv(std::FILE* out, const std::vector<Result>& results) {
+  auto text = csv(results);
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+Table Engine::to_table(const std::vector<Result>& results) {
+  Table t({"#", "Topology", "Kind", "OK", "Diam", "Mean hops", "Bisection",
+           "Max lat (us)", "p99 (us)", "Wall ms"});
+  for (const auto& r : results) {
+    if (!r.ok) {
+      t.add_row({std::to_string(r.index), r.topology, kind_name(r.kind),
+                 "ERR: " + r.error, "-", "-", "-", "-", "-",
+                 Table::num(r.wall_ms, 1)});
+      continue;
+    }
+    t.add_row({std::to_string(r.index), r.topology, kind_name(r.kind),
+               r.connected ? "yes" : "disconnected", Table::num(r.diameter, 0),
+               Table::num(r.mean_hops, 2), Table::num(r.bisection, 0),
+               Table::num(r.max_latency_ns / 1000.0, 1),
+               Table::num(r.p99_latency_ns / 1000.0, 1),
+               Table::num(r.wall_ms, 1)});
+  }
+  return t;
+}
+
+}  // namespace sfly::engine

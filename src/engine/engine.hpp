@@ -1,0 +1,66 @@
+#pragma once
+// Parallel experiment engine (see DESIGN.md §6).
+//
+// The paper's figures are sweeps: topology x routing x traffic x failure
+// rate x seed, each point independent given its seed.  The engine
+// evaluates a batch of such Scenarios across a TaskPool, shares expensive
+// per-topology artifacts (graph, routing tables, spectra) through an
+// ArtifactCache, and emits structured results (CSV, util/table).
+//
+// Determinism: every scenario is evaluated from explicit seeds and writes
+// only its own Result slot, so a batch returns bitwise-identical metrics
+// whether run on 1 thread or many.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/artifact_cache.hpp"
+#include "engine/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace sfly::engine {
+
+struct EngineConfig {
+  unsigned threads = 0;  // 0 = hardware_threads()
+  /// Base simulator knobs (bandwidth, latencies, buffers).  Per-scenario
+  /// fields (algo, vcs, seed, concentration, packet size) are overridden
+  /// from the Scenario and its topology registration.
+  sim::SimConfig sim;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+
+  /// Register a topology for scenarios to reference by name.
+  void register_topology(std::string name, std::function<Graph()> build,
+                         std::uint32_t concentration = 8);
+
+  [[nodiscard]] ArtifactCache& artifacts() { return cache_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+  /// Evaluate a batch.  Results arrive in batch order; a scenario that
+  /// throws (unknown topology, disconnected graph, ...) yields ok=false
+  /// with the error text instead of aborting the batch.
+  [[nodiscard]] std::vector<Result> run(const std::vector<Scenario>& batch);
+
+  /// Evaluate one scenario on the calling thread (no pool).
+  [[nodiscard]] Result evaluate(const Scenario& s, std::size_t index = 0);
+
+  /// results -> CSV (header + one line per result).
+  static void write_csv(std::FILE* out, const std::vector<Result>& results);
+  [[nodiscard]] static std::string csv(const std::vector<Result>& results);
+
+  /// results -> aligned console table (columns for the union of kinds).
+  [[nodiscard]] static Table to_table(const std::vector<Result>& results);
+
+ private:
+  EngineConfig cfg_;
+  ArtifactCache cache_;
+};
+
+}  // namespace sfly::engine

@@ -1,0 +1,76 @@
+#pragma once
+// Experiment-engine vocabulary: a Scenario names one point of the paper's
+// evaluation space (topology x routing x traffic x failure rate x seed),
+// and a Result carries every metric any scenario kind can produce.  The
+// benches and the design-space sweeps are batches of these.
+
+#include <cstdint>
+#include <string>
+
+#include "routing/policy.hpp"
+#include "sim/traffic.hpp"
+
+namespace sfly::engine {
+
+/// What to evaluate for a scenario.
+enum class Kind {
+  kStructure,  // distances / diameter / bisection (Figs. 4-5)
+  kSpectral,   // lambda / mu1 / Ramanujan certificate (Table I)
+  kSimulate,   // packet-level synthetic-traffic run (Figs. 6-11)
+};
+
+[[nodiscard]] const char* kind_name(Kind k);
+
+struct Scenario {
+  std::string topology;  // key registered with the engine's artifact cache
+  Kind kind = Kind::kSimulate;
+
+  // kSimulate knobs.
+  routing::Algo algo = routing::Algo::kMinimal;
+  sim::Pattern pattern = sim::Pattern::kRandom;
+  double offered_load = 0.5;
+  std::uint32_t nranks = 0;  // 0 = largest power of two <= #endpoints
+  std::uint32_t messages_per_rank = 16;
+  std::uint32_t message_bytes = 4096;
+  std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
+
+  // kStructure knobs.
+  int bisection_restarts = 2;
+
+  // Shared knobs.  A failure fraction > 0 deletes that share of links
+  // (seeded) before evaluation, so cached pristine artifacts are reused
+  // only as the base graph.
+  double failure_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct Result {
+  std::size_t index = 0;  // position within the submitted batch
+  std::string topology;
+  Kind kind = Kind::kSimulate;
+  bool ok = false;
+  std::string error;  // set when !ok
+
+  // Structure metrics.
+  bool connected = true;
+  double diameter = 0.0;
+  double mean_hops = 0.0;
+  double bisection = 0.0;             // cut edges (link units)
+  double normalized_bisection = 0.0;  // cut / (n*k/2)
+
+  // Spectral metrics.
+  double lambda = 0.0;
+  double mu1 = 0.0;
+  bool ramanujan = false;
+
+  // Simulation metrics.
+  double max_latency_ns = 0.0;
+  double mean_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double completion_ns = 0.0;
+  std::uint64_t messages = 0;
+
+  double wall_ms = 0.0;  // evaluation wall-clock (excluded from comparisons)
+};
+
+}  // namespace sfly::engine

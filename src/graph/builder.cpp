@@ -1,4 +1,32 @@
 #include "graph/builder.hpp"
 
-// Header-only; translation unit kept so the build surfaces header errors
-// early and the module has a home for future out-of-line helpers.
+#include <type_traits>
+
+// Header-only module; this TU compile-asserts the header's contracts so a
+// header regression breaks the library build loudly, and instantiates the
+// full GraphBuilder surface once.
+
+namespace sfly {
+
+static_assert(!std::is_default_constructible_v<GraphBuilder>,
+              "builders are always sized up front");
+static_assert(std::is_move_constructible_v<GraphBuilder>);
+
+namespace {
+
+// Anchor: run every member (add_edge dedup/self-loop path included) so the
+// header's inline definitions are compiled from this TU.
+[[maybe_unused]] Graph anchor_graph_builder() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate, collapsed at build
+  b.add_edge(2, 2);  // self-loop, dropped
+  static_assert(std::is_same_v<decltype(std::move(b).build()), Graph>);
+  return b.dropped_loops() == 1 && b.num_vertices() == 3 ? std::move(b).build()
+                                                         : Graph{};
+}
+
+[[maybe_unused]] const Graph anchored = anchor_graph_builder();
+
+}  // namespace
+}  // namespace sfly

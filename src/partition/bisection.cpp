@@ -339,14 +339,18 @@ std::uint64_t bisection_bandwidth(const Graph& g, const BisectionOptions& opts) 
   return bisect(g, opts).cut_edges;
 }
 
-double normalized_bisection_bandwidth(const Graph& g, const BisectionOptions& opts) {
+double normalized_cut(const Graph& g, std::uint64_t cut) {
   std::uint32_t k = 0;
   if (!g.is_regular(&k) || k == 0) {
     // Fall back to average degree for non-regular graphs.
     k = static_cast<std::uint32_t>(2 * g.num_edges() / std::max<Vertex>(g.num_vertices(), 1));
   }
   double denom = static_cast<double>(g.num_vertices()) * k / 2.0;
-  return static_cast<double>(bisection_bandwidth(g, opts)) / denom;
+  return static_cast<double>(cut) / denom;
+}
+
+double normalized_bisection_bandwidth(const Graph& g, const BisectionOptions& opts) {
+  return normalized_cut(g, bisection_bandwidth(g, opts));
 }
 
 }  // namespace sfly

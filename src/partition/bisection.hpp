@@ -36,6 +36,11 @@ struct BisectionResult {
 [[nodiscard]] std::uint64_t bisection_bandwidth(const Graph& g,
                                                 const BisectionOptions& opts = {});
 
+/// Normalize an edge-cut value by n*k/2 (k = the degree when regular,
+/// else the average degree) — the paper's Fig. 4 normalization, shared by
+/// normalized_bisection_bandwidth and the experiment engine.
+[[nodiscard]] double normalized_cut(const Graph& g, std::uint64_t cut);
+
 /// Normalized bisection bandwidth: cut / (n*k/2), the paper's Fig. 4
 /// normalization.  A random bipartition scores ~1/2 on this scale; the
 /// Ramanujan guarantee is >= (k - 2*sqrt(k-1)) / (2k).

@@ -1,3 +1,32 @@
 #include "sim/event_queue.hpp"
 
-// Header-only; TU anchors the header in the build.
+#include <type_traits>
+
+// Header-only module; this TU compile-asserts the header's contracts so a
+// header regression breaks the library build loudly rather than surfacing
+// in whichever downstream TU happens to include it first.
+
+namespace sfly::sim {
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event is copied through the heap by value");
+static_assert(std::is_default_constructible_v<EventQueue>);
+static_assert(sizeof(Event) <= 40, "Event should stay cache-friendly");
+
+namespace {
+
+// Anchor: instantiate every EventQueue member once at namespace scope so
+// the definitions are compiled (and exported) from this TU.
+[[maybe_unused]] bool anchor_event_queue() {
+  EventQueue q;
+  q.push(1.0, EventKind::kInjectMessage, 1);
+  q.push(1.0, EventKind::kDeliver, 2);
+  const bool fifo_at_equal_time = q.top().a == 1;
+  Event e = q.pop();
+  return fifo_at_equal_time && e.a == 1 && !q.empty() && q.size() == 1;
+}
+
+[[maybe_unused]] const bool anchored = anchor_event_queue();
+
+}  // namespace
+}  // namespace sfly::sim

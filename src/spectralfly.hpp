@@ -11,6 +11,11 @@
 #include "core/design_space.hpp"
 #include "core/spectralfly_net.hpp"
 
+// Parallel experiment engine (batched scenario sweeps + artifact cache).
+#include "engine/artifact_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/scenario.hpp"
+
 // Graph substrate and analytics.
 #include "graph/betweenness.hpp"
 #include "graph/builder.hpp"

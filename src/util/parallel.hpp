@@ -1,6 +1,20 @@
 #pragma once
-// Thin OpenMP helpers. The library builds and runs correctly without
-// OpenMP; pragmas degrade to serial loops.
+// Parallel-execution utilities.
+//
+// TaskPool is a small fixed-width thread pool built on std::thread so the
+// library parallelizes without OpenMP; the OpenMP query helpers remain for
+// the pragma-parallel analytics (metrics, routing-table BFS).  A pool of
+// width <= 1 executes tasks inline at submit time, which makes serial and
+// parallel runs of independent, explicitly-seeded tasks bitwise identical.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -12,8 +26,117 @@ inline int hardware_threads() {
 #ifdef _OPENMP
   return omp_get_max_threads();
 #else
-  return 1;
+  unsigned n = std::thread::hardware_concurrency();
+  return n ? static_cast<int>(n) : 1;
 #endif
 }
+
+/// Fixed-width FIFO task pool.  Tasks must be independent; submission order
+/// is preserved in the queue but completion order is unspecified.  The
+/// first exception thrown by any task is captured and rethrown from
+/// wait() (or the destructor's implicit wait discards it).
+class TaskPool {
+ public:
+  /// width 0 selects hardware_threads(); width <= 1 runs tasks inline.
+  explicit TaskPool(unsigned width = 0) {
+    if (width == 0) width = static_cast<unsigned>(hardware_threads());
+    if (width <= 1) return;  // inline mode: no workers
+    workers_.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    {
+      std::unique_lock lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned width() const {
+    return workers_.empty() ? 1 : static_cast<unsigned>(workers_.size());
+  }
+
+  void submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      run_one(task);
+      return;
+    }
+    {
+      std::unique_lock lock(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted task has finished; rethrows the first
+  /// captured task exception.
+  void wait() {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+      auto e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Run fn(i) for i in [0, n), statically chunked across the pool, and
+  /// wait for completion.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min<std::size_t>(n, width() * 4u);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = n * c / chunks, hi = n * (c + 1) / chunks;
+      submit([lo, hi, &fn] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      });
+    }
+    wait();
+  }
+
+ private:
+  void run_one(const std::function<void()>& task) {
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      run_one(task);
+      {
+        std::unique_lock lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+};
 
 }  // namespace sfly

@@ -122,7 +122,7 @@ TEST(Discrepancy, LpsTighterThanDragonFly) {
 
 TEST(Discrepancy, RequiresRegular) {
   auto g = Graph::from_edges(3, {{0, 1}, {1, 2}});
-  EXPECT_THROW(measure_discrepancy(g), std::invalid_argument);
+  EXPECT_THROW((void)measure_discrepancy(g), std::invalid_argument);
 }
 
 // ---------------- path diversity ----------------

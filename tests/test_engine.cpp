@@ -1,0 +1,183 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/spectralfly_net.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/lps.hpp"
+#include "util/parallel.hpp"
+
+namespace sfly::engine {
+namespace {
+
+// Engine owns a mutex-guarded cache, so it is neither movable nor
+// copyable; tests hold it behind unique_ptr.
+std::unique_ptr<Engine> make_engine(unsigned threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  auto eng = std::make_unique<Engine>(cfg);
+  eng->register_topology(
+      "DF(6)", [] { return topo::dragonfly_graph(topo::DragonFlyParams::canonical(6)); },
+      /*concentration=*/2);
+  return eng;
+}
+
+// A small mixed batch exercising all three kinds, failures, and repeats.
+std::vector<Scenario> mixed_batch() {
+  std::vector<Scenario> batch;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Scenario sim;
+    sim.topology = "DF(6)";
+    sim.kind = Kind::kSimulate;
+    sim.algo = seed == 2 ? routing::Algo::kValiant : routing::Algo::kMinimal;
+    sim.pattern = sim::Pattern::kShuffle;
+    sim.nranks = 64;
+    sim.messages_per_rank = 4;
+    sim.offered_load = 0.4;
+    sim.seed = seed;
+    batch.push_back(sim);
+
+    Scenario st;
+    st.topology = "DF(6)";
+    st.kind = Kind::kStructure;
+    st.failure_fraction = seed == 1 ? 0.0 : 0.15;
+    st.seed = seed;
+    batch.push_back(st);
+  }
+  Scenario sp;
+  sp.topology = "DF(6)";
+  sp.kind = Kind::kSpectral;
+  batch.push_back(sp);
+  return batch;
+}
+
+TEST(TaskPool, ParallelForCoversRangeOnce) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, WaitRethrowsTaskException) {
+  TaskPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(TaskPool, InlineModeRunsAtSubmit) {
+  TaskPool pool(1);
+  int x = 0;
+  pool.submit([&] { x = 7; });
+  EXPECT_EQ(x, 7);
+  pool.wait();
+}
+
+TEST(Engine, SerialAndParallelResultsIdentical) {
+  auto batch = mixed_batch();
+  auto serial = make_engine(1)->run(batch);
+  auto parallel = make_engine(4)->run(batch);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.index, i);
+    EXPECT_EQ(b.index, i);
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_TRUE(b.ok) << b.error;
+    // Every metric must be bitwise identical; wall_ms is excluded.
+    EXPECT_EQ(a.connected, b.connected);
+    EXPECT_EQ(a.diameter, b.diameter);
+    EXPECT_EQ(a.mean_hops, b.mean_hops);
+    EXPECT_EQ(a.bisection, b.bisection);
+    EXPECT_EQ(a.normalized_bisection, b.normalized_bisection);
+    EXPECT_EQ(a.lambda, b.lambda);
+    EXPECT_EQ(a.mu1, b.mu1);
+    EXPECT_EQ(a.ramanujan, b.ramanujan);
+    EXPECT_EQ(a.max_latency_ns, b.max_latency_ns);
+    EXPECT_EQ(a.mean_latency_ns, b.mean_latency_ns);
+    EXPECT_EQ(a.p99_latency_ns, b.p99_latency_ns);
+    EXPECT_EQ(a.completion_ns, b.completion_ns);
+    EXPECT_EQ(a.messages, b.messages);
+  }
+}
+
+TEST(Engine, ArtifactCacheReturnsSamePointers) {
+  auto eng = make_engine(4);
+  auto art = eng->artifacts().get("DF(6)");
+  auto tables_before = art->tables();
+  auto spectra_before = art->spectra();
+
+  // Repeated scenarios on one topology (run twice, multi-threaded) must
+  // not rebuild artifacts: the cached pointers stay identical.
+  auto batch = mixed_batch();
+  (void)eng->run(batch);
+  (void)eng->run(batch);
+  EXPECT_EQ(eng->artifacts().get("DF(6)").get(), art.get());
+  EXPECT_EQ(art->tables().get(), tables_before.get());
+  EXPECT_EQ(art->spectra().get(), spectra_before.get());
+  EXPECT_EQ(art->graph().get(), art->graph().get());
+}
+
+TEST(Engine, UnknownTopologyYieldsErrorResultNotThrow) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  Engine eng(cfg);
+  Scenario s;
+  s.topology = "nope";
+  auto results = eng.run({s});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("nope"), std::string::npos);
+}
+
+TEST(Engine, PaperVcSizingAppliedWhenVcsZero) {
+  // LPS(3,5) has diameter >= 3; Valiant must get 2d+1 VCs without the
+  // caller specifying them (kept in sync with routing::required_vcs).
+  EngineConfig cfg;
+  cfg.threads = 1;
+  Engine eng(cfg);
+  eng.register_topology("LPS(3,5)", [] { return topo::lps_graph({3, 5}); }, 4);
+  Scenario s;
+  s.topology = "LPS(3,5)";
+  s.kind = Kind::kSimulate;
+  s.algo = routing::Algo::kValiant;
+  s.nranks = 128;
+  s.messages_per_rank = 2;
+  s.seed = 5;
+  auto r = eng.run({s});
+  ASSERT_TRUE(r[0].ok) << r[0].error;
+  EXPECT_EQ(r[0].diameter, eng.artifacts().get("LPS(3,5)")->tables()->diameter());
+  EXPECT_GT(r[0].messages, 0u);
+}
+
+TEST(Engine, NetworkCanShareCachedTables) {
+  auto eng = make_engine(1);
+  auto art = eng->artifacts().get("DF(6)");
+  core::NetworkOptions opts;
+  opts.concentration = art->concentration();
+  auto net = core::Network::from_graph_shared_tables("DF(6)", *art->graph(),
+                                                     art->tables(), opts);
+  EXPECT_EQ(&net.tables(), art->tables().get());  // no all-pairs rebuild
+  EXPECT_EQ(net.diameter(), art->tables()->diameter());
+}
+
+TEST(Engine, CsvHasHeaderAndOneLinePerResult) {
+  auto eng = make_engine(2);
+  auto results = eng->run(mixed_batch());
+  auto text = Engine::csv(results);
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, results.size() + 1);
+  EXPECT_EQ(text.rfind("index,topology,kind", 0), 0u);
+  // Table rendering shouldn't throw and covers every result row.
+  auto table = Engine::to_table(results).str();
+  EXPECT_NE(table.find("DF(6)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfly::engine

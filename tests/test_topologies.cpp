@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/metrics.hpp"
 #include "spectral/spectra.hpp"
 #include "topo/bundlefly.hpp"
@@ -256,6 +258,92 @@ TEST(Factory, TableOneClassesMatchPaperCounts) {
     EXPECT_EQ(classes[c].bundlefly.num_vertices(), routers[c][2]);
     EXPECT_EQ(classes[c].dragonfly_a * (classes[c].dragonfly_a + 1), routers[c][3]);
   }
+}
+
+// ---------- Golden-value regression pins ----------
+//
+// Canonical-instance numbers in the style of test_core.cpp's LPS(3,5)
+// pins: exact counts from the constructions, spectral values from closed
+// forms (Paley graphs are strongly regular: lambda = (sqrt(q)+1)/2), and
+// diameter/girth from the paper's structural claims.  These freeze the
+// generators against silent regressions.
+
+TEST(GoldenPaley, ThirteenStronglyRegularSpectrum) {
+  auto g = paley_graph({13});
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_EQ(g.num_edges(), 39u);  // q(q-1)/4
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 6u);
+  auto sp = compute_spectra(g);
+  EXPECT_NEAR(sp.lambda, (std::sqrt(13.0) + 1.0) / 2.0, 1e-6);
+  EXPECT_TRUE(sp.ramanujan);
+  auto ds = distance_stats(g);
+  EXPECT_EQ(ds.diameter, 2);
+  EXPECT_EQ(girth(g), 3u);
+}
+
+TEST(GoldenPaley, SeventeenAndPrimePowerTwentyFive) {
+  auto g17 = paley_graph({17});
+  EXPECT_EQ(g17.num_vertices(), 17u);
+  EXPECT_EQ(g17.num_edges(), 68u);
+  EXPECT_NEAR(compute_spectra(g17).lambda, (std::sqrt(17.0) + 1.0) / 2.0, 1e-6);
+  // GF(25): the construction must handle prime powers, lambda = (5+1)/2.
+  auto g25 = paley_graph({25});
+  EXPECT_EQ(g25.num_vertices(), 25u);
+  EXPECT_EQ(g25.num_edges(), 150u);
+  EXPECT_NEAR(compute_spectra(g25).lambda, 3.0, 1e-6);
+}
+
+TEST(GoldenMms, FiveIsRamanujanGirthFive) {
+  MmsParams p{5};
+  auto g = mms_graph(p);
+  EXPECT_EQ(g.num_vertices(), 50u);   // 2q^2
+  EXPECT_EQ(g.num_edges(), 175u);     // n*k/2 = 50*7/2
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 7u);                   // (3q-delta)/2, delta=1
+  auto sp = compute_spectra(g);
+  EXPECT_NEAR(sp.lambda, 3.0, 1e-6);  // regression pin (2*sqrt(6) ~ 4.90 bound)
+  EXPECT_TRUE(sp.ramanujan);
+  auto ds = distance_stats(g);
+  EXPECT_EQ(ds.diameter, 2);
+  EXPECT_EQ(girth(g), 5u);
+}
+
+TEST(GoldenSlimFly, PaperSixHundredRouterClass) {
+  // SF(17) is the paper's ~600-router comparison instance (Fig. 5).
+  auto g = slimfly_graph({17});
+  EXPECT_EQ(g.num_vertices(), 578u);  // 2*17^2
+  EXPECT_EQ(g.num_edges(), 7225u);    // 578*25/2
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g.is_regular(&k));
+  EXPECT_EQ(k, 25u);                  // (3*17-delta)/2, delta=1
+  auto sp = compute_spectra(g);
+  EXPECT_NEAR(sp.lambda, 9.0, 1e-6);  // regression pin; 2*sqrt(24) ~ 9.80
+  EXPECT_TRUE(sp.ramanujan);
+  EXPECT_EQ(distance_stats(g).diameter, 2);
+}
+
+TEST(GoldenDragonFly, CanonicalTableOneInstances) {
+  // DF(12) (Table I) and DF(24) (the Fig. 5 ~600-router class).
+  auto g12 = dragonfly_graph(DragonFlyParams::canonical(12));
+  EXPECT_EQ(g12.num_vertices(), 156u);  // a(a+1)
+  EXPECT_EQ(g12.num_edges(), 936u);     // n*a/2
+  auto ds12 = distance_stats(g12);
+  EXPECT_EQ(ds12.diameter, 3);
+  EXPECT_NEAR(ds12.mean_distance, 2.703226, 1e-5);
+
+  auto g24 = dragonfly_graph(DragonFlyParams::canonical(24));
+  EXPECT_EQ(g24.num_vertices(), 600u);
+  EXPECT_EQ(g24.num_edges(), 7200u);
+  std::uint32_t k = 0;
+  EXPECT_TRUE(g24.is_regular(&k));
+  EXPECT_EQ(k, 24u);
+  auto ds24 = distance_stats(g24);
+  EXPECT_EQ(ds24.diameter, 3);
+  EXPECT_NEAR(ds24.mean_distance, 2.843072, 1e-5);
+  EXPECT_EQ(girth(g24), 3u);
 }
 
 TEST(Factory, FeasiblePointsNonEmptyAndSane) {
