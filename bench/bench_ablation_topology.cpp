@@ -2,47 +2,97 @@
 // DragonFly global-link arrangement (circulant vs absolute), BundleFly
 // inter-bundle matchings (identity vs affine vs optimized), and the
 // bisector's restart budget.
+//
+// Engine-backed: each construction variant registers as its own topology
+// and every measured point is one kStructure scenario in a single batch
+// over --threads.  The restart ablation's four scenarios share ONE cached
+// LPS(23,11) graph build instead of rebuilding it per restart budget.
 
 #include "bench_common.hpp"
-
-#include "graph/metrics.hpp"
-#include "partition/bisection.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
-  bench::Flags::usage("Ablation: topology construction choices", "");
+  bench::Flags::usage(
+      "Ablation: topology construction choices",
+      "#   --threads N  engine worker threads (default: all hardware threads)");
 
-  // --- DragonFly arrangement -------------------------------------------
-  {
-    Table t({"Arrangement", "Bisection cut", "Mean distance"});
-    for (auto arr : {topo::GlobalArrangement::kCirculant,
-                     topo::GlobalArrangement::kAbsolute}) {
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+
+  std::vector<engine::Scenario> batch;
+
+  // --- DragonFly arrangement: full structure incl. bisection ------------
+  const std::pair<topo::GlobalArrangement, const char*> arrangements[] = {
+      {topo::GlobalArrangement::kCirculant, "circulant"},
+      {topo::GlobalArrangement::kAbsolute, "absolute"}};
+  for (auto [arr, label] : arrangements) {
+    std::string name = std::string("DF(16)-") + label;
+    eng.register_topology(name, [arr] {
       auto params = topo::DragonFlyParams::canonical(16);
       params.arrangement = arr;
-      auto g = topo::dragonfly_graph(params);
-      auto cut = bisection_bandwidth(g, {.restarts = 4, .seed = 3});
-      auto stats = distance_stats(g);
-      t.add_row({arr == topo::GlobalArrangement::kCirculant ? "circulant" : "absolute",
-                 std::to_string(cut), Table::num(stats.mean_distance, 3)});
+      return topo::dragonfly_graph(params);
+    });
+    engine::Scenario s;
+    s.topology = name;
+    s.kind = engine::Kind::kStructure;
+    s.bisection_restarts = 4;
+    s.seed = 3;
+    batch.push_back(std::move(s));
+  }
+
+  // --- BundleFly matchings: distances only ------------------------------
+  const std::pair<topo::BundleShift, const char*> matchings[] = {
+      {topo::BundleShift::kIdentity, "identity"},
+      {topo::BundleShift::kAffine, "affine (random)"},
+      {topo::BundleShift::kOptimized, "affine (optimized)"}};
+  for (auto [shift, label] : matchings) {
+    std::string name = std::string("BF(13,3)-") + label;
+    eng.register_topology(name,
+                          [shift] { return topo::bundlefly_graph({13, 3, shift}); });
+    engine::Scenario s;
+    s.topology = name;
+    s.kind = engine::Kind::kStructure;
+    s.bisection_restarts = 0;  // diameter/mean distance only
+    batch.push_back(std::move(s));
+  }
+
+  // --- Bisector restarts: four budgets over one cached graph ------------
+  eng.register_topology("LPS(23,11)", [] { return topo::lps_graph({23, 11}); });
+  const int restart_budgets[] = {1, 2, 4, 8};
+  for (int r : restart_budgets) {
+    engine::Scenario s;
+    s.topology = "LPS(23,11)";
+    s.kind = engine::Kind::kStructure;
+    s.want_distances = false;  // this table prints the cut only
+    s.bisection_restarts = r;
+    s.seed = 9;
+    batch.push_back(std::move(s));
+  }
+
+  auto results = eng.run(batch);
+  std::size_t at = 0;
+
+  {
+    Table t({"Arrangement", "Bisection cut", "Mean distance"});
+    for (auto [arr, label] : arrangements) {
+      const auto& r = results[at++];
+      t.add_row({label, r.ok ? Table::num(r.bisection, 0) : "ERR",
+                 r.ok ? Table::num(r.mean_hops, 3) : "ERR"});
     }
     std::printf("== DragonFly(16) global-link arrangement ==\n");
     t.print();
     std::printf("# The paper adopts circulant for its better bisection.\n\n");
   }
 
-  // --- BundleFly matchings ----------------------------------------------
   {
     Table t({"Matching", "Diameter", "Mean distance"});
-    for (auto [shift, name] :
-         {std::pair{topo::BundleShift::kIdentity, "identity"},
-          std::pair{topo::BundleShift::kAffine, "affine (random)"},
-          std::pair{topo::BundleShift::kOptimized, "affine (optimized)"}}) {
-      auto g = topo::bundlefly_graph({13, 3, shift});
-      auto stats = distance_stats(g);
-      t.add_row({name, std::to_string(stats.diameter),
-                 Table::num(stats.mean_distance, 3)});
+    for (auto [shift, label] : matchings) {
+      const auto& r = results[at++];
+      t.add_row({label, r.ok ? Table::num(r.diameter, 0) : "ERR",
+                 r.ok ? Table::num(r.mean_hops, 3) : "ERR"});
     }
     std::printf("== BundleFly(13,3) inter-bundle matchings ==\n");
     t.print();
@@ -50,13 +100,13 @@ int main(int argc, char** argv) {
                 "# of the multi-star product (identity inflates to 4+).\n\n");
   }
 
-  // --- Bisector restarts --------------------------------------------------
   {
-    auto g = topo::lps_graph({23, 11});
     Table t({"Restarts", "Cut (links)"});
-    for (int r : {1, 2, 4, 8})
-      t.add_row({std::to_string(r),
-                 std::to_string(bisection_bandwidth(g, {.restarts = r, .seed = 9}))});
+    for (int rb : restart_budgets) {
+      const auto& r = results[at++];
+      t.add_row({std::to_string(rb),
+                 r.ok ? Table::num(r.bisection, 0) : "ERR"});
+    }
     std::printf("== Multilevel bisector restarts on LPS(23,11) ==\n");
     t.print();
     std::printf("# Expander cuts are tightly concentrated: restarts buy little,\n"

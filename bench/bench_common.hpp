@@ -7,6 +7,7 @@
 // paper's qualitative shape in minutes; pass --full for the exact paper
 // configuration.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/spectralfly_net.hpp"
+#include "engine/engine.hpp"
 #include "sim/traffic.hpp"
 #include "topo/bundlefly.hpp"
 #include "topo/dragonfly.hpp"
@@ -100,6 +102,10 @@ inline std::vector<SimTopo> simulation_topologies(bool full) {
 }
 
 // One synthetic-pattern run; returns the paper's metric (max message time).
+// Kept as the engine-free reference path: tests/test_sim.cpp golden-pins
+// its values, and tests/test_engine.cpp pins that engine-backed scenarios
+// reproduce them bitwise (the engine shares cached tables instead of
+// rebuilding them here per call).
 inline double run_pattern(const SimTopo& t, routing::Algo algo, sim::Pattern pattern,
                           double load, std::uint32_t nranks,
                           std::uint32_t messages_per_rank, std::uint64_t seed) {
@@ -118,5 +124,141 @@ inline double run_pattern(const SimTopo& t, routing::Algo algo, sim::Pattern pat
 }
 
 inline const double kLoads[] = {0.1, 0.2, 0.3, 0.5, 0.6, 0.7};
+
+// ---------------------------------------------------------------------
+// Engine-backed campaign helpers.  Every simulation bench builds ONE
+// engine, registers its topologies once, and submits its whole sweep as
+// one batch: the artifact cache builds each topology's graph and
+// all-pairs routing tables at most once, and the batch fans across
+// --threads workers with bitwise-deterministic results.
+
+/// Register every simulation topology with an engine.  The graphs are
+/// copied into the builder closures; the cache materializes each lazily,
+/// at most once.
+inline void register_topologies(engine::Engine& eng,
+                                const std::vector<SimTopo>& topos) {
+  for (const auto& t : topos)
+    eng.register_topology(t.name, [g = t.graph] { return g; }, t.concentration);
+}
+
+/// Table I's four families for the first `run_classes` size classes,
+/// registered with the engine and emitted as one (kStructure, kSpectral)
+/// scenario pair per topology — batch index 2*i / 2*i+1 for topology i in
+/// class-major, LPS/SlimFly/BundleFly/DragonFly order.  `structure_knobs`
+/// customizes each kStructure scenario (girth vs cut-only, restarts, seed).
+inline std::vector<engine::Scenario> class_scenario_pairs(
+    engine::Engine& eng, std::size_t run_classes,
+    const std::function<void(engine::Scenario&)>& structure_knobs) {
+  auto classes = topo::table1_classes();
+  run_classes = std::min(run_classes, classes.size());
+  std::vector<engine::Scenario> batch;
+  auto add_topology = [&](const std::string& name, std::function<Graph()> build) {
+    eng.register_topology(name, std::move(build));
+    engine::Scenario st;
+    st.topology = name;
+    st.kind = engine::Kind::kStructure;
+    structure_knobs(st);
+    batch.push_back(st);
+    engine::Scenario sp;
+    sp.topology = name;
+    sp.kind = engine::Kind::kSpectral;
+    batch.push_back(sp);
+  };
+  for (std::size_t c = 0; c < run_classes; ++c) {
+    const auto& cls = classes[c];
+    add_topology(cls.lps.name(), [p = cls.lps] { return topo::lps_graph(p); });
+    add_topology(cls.slimfly.name(),
+                 [p = cls.slimfly] { return topo::slimfly_graph(p); });
+    add_topology(cls.bundlefly.name(),
+                 [p = cls.bundlefly] { return topo::bundlefly_graph(p); });
+    add_topology("DF(" + std::to_string(cls.dragonfly_a) + ")",
+                 [a = cls.dragonfly_a] {
+                   return topo::dragonfly_graph(topo::DragonFlyParams::canonical(a));
+                 });
+  }
+  return batch;
+}
+
+/// One synthetic sweep point — the run_pattern() knob set as a SimScenario.
+inline engine::SimScenario sim_point(const std::string& topology,
+                                     routing::Algo algo, sim::Pattern pattern,
+                                     double load, std::uint32_t nranks,
+                                     std::uint32_t messages_per_rank,
+                                     std::uint64_t seed) {
+  engine::SimScenario s;
+  s.topology = topology;
+  s.algo = algo;
+  s.pattern = pattern;
+  s.offered_load = load;
+  s.nranks = nranks;
+  s.messages_per_rank = messages_per_rank;
+  s.seed = seed;
+  return s;
+}
+
+/// The Fig. 6/7 campaign shape: a (pattern x load x topology) grid under
+/// one routing algorithm, evaluated as a single engine batch and read
+/// back by grid coordinates.
+class LoadSweep {
+ public:
+  LoadSweep(engine::Engine& eng, const std::vector<SimTopo>& topos,
+            routing::Algo algo, std::vector<sim::Pattern> patterns,
+            std::vector<double> loads, std::uint32_t nranks,
+            std::uint32_t messages_per_rank, std::uint64_t seed)
+      : patterns_(std::move(patterns)), loads_(std::move(loads)),
+        ntopos_(topos.size()) {
+    std::vector<engine::SimScenario> batch;
+    batch.reserve(patterns_.size() * loads_.size() * ntopos_);
+    for (auto pattern : patterns_)
+      for (double load : loads_)
+        for (const auto& t : topos)
+          batch.push_back(sim_point(t.name, algo, pattern, load, nranks,
+                                    messages_per_rank, seed));
+    results_ = eng.run_sims(batch);
+  }
+
+  [[nodiscard]] const engine::SimResult& at(std::size_t pattern,
+                                            std::size_t load,
+                                            std::size_t topo) const {
+    return results_[(pattern * loads_.size() + load) * ntopos_ + topo];
+  }
+  [[nodiscard]] const std::vector<double>& loads() const { return loads_; }
+  [[nodiscard]] const std::vector<sim::Pattern>& patterns() const {
+    return patterns_;
+  }
+
+ private:
+  std::vector<sim::Pattern> patterns_;
+  std::vector<double> loads_;
+  std::size_t ntopos_;
+  std::vector<engine::SimResult> results_;
+};
+
+/// The paper's speedup table for one pattern slice: rows are offered
+/// loads; columns the non-baseline topologies (speedup of max message
+/// time vs the baseline, index 1 = DragonFly), then the baseline itself.
+inline Table speedup_table(const LoadSweep& sweep, std::size_t pattern_idx,
+                           const std::vector<SimTopo>& topos,
+                           std::size_t baseline = 1) {
+  std::vector<std::string> header{"Offered load"};
+  for (std::size_t t = 0; t < topos.size(); ++t)
+    if (t != baseline) header.push_back(topos[t].name);
+  header.push_back(topos[baseline].name + " (baseline)");
+  Table tab(std::move(header));
+  for (std::size_t li = 0; li < sweep.loads().size(); ++li) {
+    const auto& base = sweep.at(pattern_idx, li, baseline);
+    std::vector<std::string> row{Table::num(sweep.loads()[li], 1)};
+    for (std::size_t t = 0; t < topos.size(); ++t) {
+      if (t == baseline) continue;
+      const auto& r = sweep.at(pattern_idx, li, t);
+      row.push_back(base.ok && r.ok && r.max_latency_ns > 0
+                        ? Table::num(base.max_latency_ns / r.max_latency_ns, 2)
+                        : "ERR");
+    }
+    row.push_back(base.ok ? "1.00" : "ERR");
+    tab.add_row(std::move(row));
+  }
+  return tab;
+}
 
 }  // namespace sfly::bench

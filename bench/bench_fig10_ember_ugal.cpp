@@ -1,5 +1,6 @@
 // Fig. 10 — the Ember motifs of Fig. 9 run under UGAL routing, reported
-// as speedup relative to DragonFly-UGAL.
+// as speedup relative to DragonFly-UGAL.  Engine-backed via run_ember
+// (one 16-scenario batch, --threads N, shared per-topology tables).
 
 #include "ember_common.hpp"
 

@@ -2,11 +2,16 @@
 // SpectralFly and SlimFly relative to the SkyWalk topology, as a function
 // of switch latency (0-250 ns), with 5 ns/m cable delay on the heuristic
 // machine-room embedding.
+//
+// Engine-backed: the QAP layout heuristic dominates this bench, and every
+// subject's layout is independent — one kLayout scenario per subject
+// across all size pairs, fanned over --threads.  The cheap parts (SkyWalk
+// instantiations, Dijkstra latency sweeps over the returned placements)
+// stay bench-side.
 
 #include "bench_common.hpp"
 
 #include "layout/latency.hpp"
-#include "layout/qap.hpp"
 #include "topo/skywalk.hpp"
 
 using namespace sfly;
@@ -16,9 +21,10 @@ int main(int argc, char** argv) {
   bench::Flags::usage(
       "Fig. 11: avg/max end-to-end latency relative to SkyWalk vs switch latency",
       "#   --pairs N     topology pairs (default 2, --full = 4)\n"
-      "#   --skywalks N  SkyWalk instantiations averaged (default 3, paper 20)");
+      "#   --skywalks N  SkyWalk instantiations averaged (default 3, paper 20)\n"
+      "#   --threads N   engine worker threads (default: all hardware threads)");
   const std::size_t npairs =
-      flags.full() ? 4 : static_cast<std::size_t>(flags.get("--pairs", 2));
+      flags.full() ? 4 : std::min<std::size_t>(flags.get("--pairs", 2), 4);
   const int skywalks = static_cast<int>(flags.get("--skywalks", flags.full() ? 20 : 3));
 
   struct Subject {
@@ -29,26 +35,41 @@ int main(int argc, char** argv) {
       {{11, 7}, {9}}, {{19, 7}, {13}}, {{23, 11}, {17}}, {{29, 13}, {23}}};
   const double switch_lat[] = {0, 50, 100, 150, 200, 250};
 
-  for (std::size_t i = 0; i < std::min<std::size_t>(npairs, 4); ++i) {
-    std::vector<Subject> subjects;
-    subjects.push_back({pairs[i].first.name(), topo::lps_graph(pairs[i].first)});
-    subjects.push_back({pairs[i].second.name(), topo::slimfly_graph(pairs[i].second)});
+  // All subjects' layouts as one engine batch (pair-major, LPS then SF).
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+  std::vector<std::vector<Subject>> subjects(npairs);
+  std::vector<engine::Scenario> batch;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    subjects[i].push_back({pairs[i].first.name(), topo::lps_graph(pairs[i].first)});
+    subjects[i].push_back(
+        {pairs[i].second.name(), topo::slimfly_graph(pairs[i].second)});
+    for (const auto& s : subjects[i]) {
+      eng.register_topology(s.name, [g = s.graph] { return g; });
+      engine::Scenario sc;
+      sc.topology = s.name;
+      sc.kind = engine::Kind::kLayout;
+      sc.layout_em_rounds = 3;
+      sc.layout_swap_passes = 3;
+      sc.bisection_restarts = 0;  // Fig. 11 needs wires only, not the cut
+      sc.seed = 23;
+      batch.push_back(std::move(sc));
+    }
+  }
+  auto layouts = eng.run(batch);
 
-    // Shared-size SkyWalk reference, averaged over instantiations; QAP
-    // layouts computed once per subject and reused across the sweep.
-    const Vertex n = subjects[0].graph.num_vertices();
-    const std::uint32_t k = subjects[0].graph.degree(0);
-    std::vector<layout::LayoutResult> layouts;
-    for (auto& s : subjects)
-      layouts.push_back(layout::optimize_layout(
-          s.graph, {.em_rounds = 3, .swap_passes = 3, .seed = 23}));
+  for (std::size_t i = 0; i < npairs; ++i) {
+    // Shared-size SkyWalk reference, averaged over instantiations.
+    const Vertex n = subjects[i][0].graph.num_vertices();
+    const std::uint32_t k = subjects[i][0].graph.degree(0);
     std::vector<topo::SkyWalkInstance> skies;
     for (int s = 0; s < skywalks; ++s)
       skies.push_back(
           topo::skywalk_graph({n, k, static_cast<std::uint64_t>(s) + 1, 1.0}));
 
-    Table t({"Switch ns", subjects[0].name + " avg", subjects[0].name + " max",
-             subjects[1].name + " avg", subjects[1].name + " max"});
+    Table t({"Switch ns", subjects[i][0].name + " avg", subjects[i][0].name + " max",
+             subjects[i][1].name + " avg", subjects[i][1].name + " max"});
     for (double sl : switch_lat) {
       double sky_avg = 0, sky_max = 0;
       for (const auto& sky : skies) {
@@ -60,9 +81,15 @@ int main(int argc, char** argv) {
       sky_max /= skywalks;
 
       std::vector<std::string> row{Table::num(sl, 0)};
-      for (std::size_t si = 0; si < subjects.size(); ++si) {
-        auto lat = layout::physical_latency(subjects[si].graph,
-                                            layouts[si].placement, sl);
+      for (std::size_t si = 0; si < subjects[i].size(); ++si) {
+        const auto& lay = layouts[2 * i + si];
+        if (!lay.ok) {
+          row.push_back("ERR");
+          row.push_back("ERR");
+          continue;
+        }
+        auto lat = layout::physical_latency(subjects[i][si].graph,
+                                            lay.placement, sl);
         row.push_back(Table::num(lat.mean_ns / sky_avg, 3));
         row.push_back(Table::num(lat.max_ns / sky_max, 3));
       }

@@ -2,48 +2,56 @@
 // four families at the Table I size classes.  For each instance we print
 // the METIS-substitute upper bound (multilevel min-cut) and the spectral
 // (Fiedler) lower bound; the exact value lies between them.
+//
+// Engine-backed: per topology one kStructure scenario (cut only, the
+// O(n*m) all-pairs distances are skipped) and one kSpectral scenario,
+// submitted as a single batch over --threads with the graph built once
+// for both kinds.
 
 #include "bench_common.hpp"
 
-#include "partition/bisection.hpp"
-#include "spectral/spectra.hpp"
-
 using namespace sfly;
-
-namespace {
-
-void emit(Table& t, const std::string& name, const Graph& g) {
-  auto spec = compute_spectra(g);
-  auto cut = bisection_bandwidth(g, {.restarts = 3, .seed = 11});
-  double lower = spec.bisection_lower_bound(g.num_vertices());
-  double norm = static_cast<double>(cut) /
-                (static_cast<double>(g.num_vertices()) * spec.radix / 2.0);
-  t.add_row({name, std::to_string(g.num_vertices()), std::to_string(spec.radix),
-             std::to_string(cut), Table::num(lower, 0), Table::num(norm, 3)});
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Fig. 4 lower-right: raw bisection bandwidth (upper bound = multilevel "
       "cut, lower bound = Fiedler)",
-      "#   --classes N  size classes to run (default 3, --full = 5)");
+      "#   --classes N  size classes to run (default 3, --full = 5)\n"
+      "#   --threads N  engine worker threads (default: all hardware threads)");
   const std::size_t nclasses =
       flags.full() ? 5 : static_cast<std::size_t>(flags.get("--classes", 3));
 
-  auto classes = topo::table1_classes();
+  const std::size_t run_classes =
+      std::min(nclasses, topo::table1_classes().size());
+
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+
+  auto batch = bench::class_scenario_pairs(eng, run_classes, [](engine::Scenario& st) {
+    st.want_distances = false;  // this figure needs the cut only
+    st.bisection_restarts = 3;
+    st.seed = 11;
+  });
+  auto results = eng.run(batch);
+
   Table t({"Topology", "Routers", "Radix", "Cut (links)", "Fiedler LB",
            "Normalized"});
-  for (std::size_t c = 0; c < std::min(nclasses, classes.size()); ++c) {
-    const auto& cls = classes[c];
-    emit(t, cls.lps.name(), topo::lps_graph(cls.lps));
-    emit(t, cls.slimfly.name(), topo::slimfly_graph(cls.slimfly));
-    emit(t, cls.bundlefly.name(), topo::bundlefly_graph(cls.bundlefly));
-    emit(t, "DF(" + std::to_string(cls.dragonfly_a) + ")",
-         topo::dragonfly_graph(topo::DragonFlyParams::canonical(cls.dragonfly_a)));
-    if (c + 1 < std::min(nclasses, classes.size())) t.add_row({"---"});
+  for (std::size_t c = 0; c < run_classes; ++c) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto& st = results[(c * 4 + i) * 2];
+      const auto& sp = results[(c * 4 + i) * 2 + 1];
+      if (!st.ok || !sp.ok) {
+        t.add_row({st.topology, "ERR: " + (st.ok ? sp.error : st.error)});
+        continue;
+      }
+      t.add_row({st.topology, std::to_string(st.vertices),
+                 std::to_string(st.radix), Table::num(st.bisection, 0),
+                 Table::num(sp.fiedler_bisection_lb, 0),
+                 Table::num(st.normalized_bisection, 3)});
+    }
+    if (c + 1 < run_classes) t.add_row({"---"});
   }
   t.print();
   std::printf(

@@ -1,6 +1,10 @@
 // Fig. 6 — performance across topologies, traffic patterns and offered
 // loads under UGAL-L routing, reported as speedup of each topology's
 // maximum message time relative to DragonFly-UGAL at the same load.
+//
+// Engine-backed: the whole (pattern x load x topology) grid is one batch
+// over the shared artifact cache — each topology's all-pairs tables are
+// built once for all 24 points per pattern instead of once per point.
 
 #include "bench_common.hpp"
 
@@ -10,34 +14,32 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Fig. 6: UGAL-L speedup vs DragonFly across patterns and loads",
-      "#   --ranks N  MPI ranks (default 1024; --full = 8192)\n"
-      "#   --msgs N   messages per rank (default 24)");
+      "#   --ranks N    MPI ranks (default 1024; --full = 8192)\n"
+      "#   --msgs N     messages per rank (default 24)\n"
+      "#   --threads N  engine worker threads (default: all hardware threads)");
   const std::uint32_t nranks =
       static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
   const std::uint32_t msgs =
       static_cast<std::uint32_t>(flags.get("--msgs", 24));
 
   auto topos = bench::simulation_topologies(flags.full());
-  const sim::Pattern patterns[] = {sim::Pattern::kRandom, sim::Pattern::kShuffle,
-                                   sim::Pattern::kBitReverse,
-                                   sim::Pattern::kTranspose};
+  const std::vector<sim::Pattern> patterns = {
+      sim::Pattern::kRandom, sim::Pattern::kShuffle, sim::Pattern::kBitReverse,
+      sim::Pattern::kTranspose};
 
-  for (auto pattern : patterns) {
-    Table t({"Offered load", "SpectralFly", "SlimFly", "BundleFly",
-             "DragonFly (baseline)"});
-    for (double load : bench::kLoads) {
-      std::vector<double> max_lat(topos.size());
-      for (std::size_t i = 0; i < topos.size(); ++i)
-        max_lat[i] = bench::run_pattern(topos[i], routing::Algo::kUgalL, pattern,
-                                        load, nranks, msgs, 42);
-      const double base = max_lat[1];  // DragonFly is index 1
-      t.add_row({Table::num(load, 1), Table::num(base / max_lat[0], 2),
-                 Table::num(base / max_lat[2], 2), Table::num(base / max_lat[3], 2),
-                 "1.00"});
-    }
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+  bench::register_topologies(eng, topos);
+
+  bench::LoadSweep sweep(eng, topos, routing::Algo::kUgalL, patterns,
+                         {std::begin(bench::kLoads), std::end(bench::kLoads)},
+                         nranks, msgs, 42);
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
     std::printf("== Fig. 6 (%s), UGAL-L, speedup vs DragonFly ==\n",
-                sim::pattern_name(pattern));
-    t.print();
+                sim::pattern_name(patterns[p]));
+    bench::speedup_table(sweep, p, topos).print();
     std::printf("\n");
   }
   std::printf("# Paper shape: SpectralFly best on all four patterns (superior\n"

@@ -1,5 +1,8 @@
 // Fig. 7 — the random micro-benchmark under minimal routing, reported as
 // speedup relative to DragonFly-Min at the same offered load.
+//
+// Engine-backed: one batch of (load x topology) scenarios sharing each
+// topology's cached routing tables across the whole sweep.
 
 #include "bench_common.hpp"
 
@@ -9,28 +12,28 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Fig. 7: minimal-routing speedup vs DragonFly (random pattern)",
-      "#   --ranks N  MPI ranks (default 1024; --full = 8192)\n"
-      "#   --msgs N   messages per rank (default 24)");
+      "#   --ranks N    MPI ranks (default 1024; --full = 8192)\n"
+      "#   --msgs N     messages per rank (default 24)\n"
+      "#   --threads N  engine worker threads (default: all hardware threads)");
   const std::uint32_t nranks =
       static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
   const std::uint32_t msgs =
       static_cast<std::uint32_t>(flags.get("--msgs", 24));
 
   auto topos = bench::simulation_topologies(flags.full());
-  Table t({"Offered load", "SpectralFly", "SlimFly", "BundleFly",
-           "DragonFly (baseline)"});
-  for (double load : bench::kLoads) {
-    std::vector<double> max_lat(topos.size());
-    for (std::size_t i = 0; i < topos.size(); ++i)
-      max_lat[i] = bench::run_pattern(topos[i], routing::Algo::kMinimal,
-                                      sim::Pattern::kRandom, load, nranks, msgs, 42);
-    const double base = max_lat[1];
-    t.add_row({Table::num(load, 1), Table::num(base / max_lat[0], 2),
-               Table::num(base / max_lat[2], 2), Table::num(base / max_lat[3], 2),
-               "1.00"});
-  }
+
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+  bench::register_topologies(eng, topos);
+
+  bench::LoadSweep sweep(eng, topos, routing::Algo::kMinimal,
+                         {sim::Pattern::kRandom},
+                         {std::begin(bench::kLoads), std::end(bench::kLoads)},
+                         nranks, msgs, 42);
+
   std::printf("== Fig. 7 (random), minimal routing, speedup vs DragonFly ==\n");
-  t.print();
+  bench::speedup_table(sweep, 0, topos).print();
   std::printf("\n# Paper shape: SpectralFly above 1.0 throughout; bit shuffle\n"
               "# and transpose behave similarly (see bench_fig6 for those).\n");
   return 0;

@@ -1,6 +1,7 @@
 // Fig. 9 — Ember real-world motifs (Halo3D-26, Sweep3D, FFT balanced /
 // unbalanced) under minimal routing, reported as speedup of motif
-// completion time relative to DragonFly.
+// completion time relative to DragonFly.  Engine-backed via run_ember
+// (one 16-scenario batch, --threads N, shared per-topology tables).
 
 #include "ember_common.hpp"
 

@@ -1,47 +1,56 @@
 // Table I — basic structural properties of the five size classes:
 // routers, radix, diameter, mean distance, girth, and the normalized
 // Laplacian spectral gap mu1 for LPS / SlimFly / BundleFly / DragonFly.
+//
+// Engine-backed: each topology contributes one kStructure scenario
+// (distances + girth, bisection skipped — Table I does not report a cut)
+// and one kSpectral scenario, all submitted as a single batch fanned over
+// --threads; the artifact cache builds each graph once for both kinds.
 
 #include "bench_common.hpp"
 
-#include "graph/metrics.hpp"
-#include "spectral/spectra.hpp"
-
 using namespace sfly;
-
-namespace {
-
-void emit_row(Table& table, const std::string& name, const Graph& g) {
-  auto stats = distance_stats(g);
-  auto spec = compute_spectra(g);
-  table.add_row({name, std::to_string(g.num_vertices()),
-                 std::to_string(spec.radix), std::to_string(stats.diameter),
-                 Table::num(stats.mean_distance, 2), std::to_string(girth(g)),
-                 Table::num(spec.mu1, 2), spec.ramanujan ? "yes" : "no"});
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Table I: structural properties per size class",
-      "#   --classes N  number of size classes to run (default 3, --full = 5)");
+      "#   --classes N  number of size classes to run (default 3, --full = 5)\n"
+      "#   --threads N  engine worker threads (default: all hardware threads)");
   const std::size_t nclasses =
       flags.full() ? 5 : static_cast<std::size_t>(flags.get("--classes", 3));
 
-  auto classes = topo::table1_classes();
+  const std::size_t run_classes =
+      std::min(nclasses, topo::table1_classes().size());
+
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+
+  // Per topology: a kStructure scenario (even batch index) immediately
+  // followed by its kSpectral partner (odd index).
+  auto batch = bench::class_scenario_pairs(eng, run_classes, [](engine::Scenario& st) {
+    st.bisection_restarts = 0;  // Table I reports no cut
+    st.want_girth = true;
+  });
+  auto results = eng.run(batch);
+
   Table table({"Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth",
                "mu1", "Ramanujan"});
-  for (std::size_t c = 0; c < std::min(nclasses, classes.size()); ++c) {
-    const auto& cls = classes[c];
-    emit_row(table, cls.lps.name(), topo::lps_graph(cls.lps));
-    emit_row(table, cls.slimfly.name(), topo::slimfly_graph(cls.slimfly));
-    emit_row(table, cls.bundlefly.name(), topo::bundlefly_graph(cls.bundlefly));
-    emit_row(table, "DF(" + std::to_string(cls.dragonfly_a) + ")",
-             topo::dragonfly_graph(topo::DragonFlyParams::canonical(cls.dragonfly_a)));
-    if (c + 1 < std::min(nclasses, classes.size()))
-      table.add_row({"---"});
+  for (std::size_t c = 0; c < run_classes; ++c) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto& st = results[(c * 4 + i) * 2];
+      const auto& sp = results[(c * 4 + i) * 2 + 1];
+      if (!st.ok || !sp.ok) {
+        table.add_row({st.topology, "ERR: " + (st.ok ? sp.error : st.error)});
+        continue;
+      }
+      table.add_row({st.topology, std::to_string(st.vertices),
+                     std::to_string(st.radix), Table::num(st.diameter, 0),
+                     Table::num(st.mean_hops, 2), std::to_string(st.girth),
+                     Table::num(sp.mu1, 2), sp.ramanujan ? "yes" : "no"});
+    }
+    if (c + 1 < run_classes) table.add_row({"---"});
   }
   table.print();
   std::printf(

@@ -1,81 +1,102 @@
 // Table II — wire length and energy efficiency of the heuristic machine-
 // room embedding for comparable SpectralFly and SlimFly topologies, with
 // SkyWalk wire statistics (mean over instantiations) in parentheses.
+//
+// Engine-backed: each subject is one kLayout scenario (QAP embedding +
+// wiring classification + bisection + power model), all pairs submitted
+// as a single batch over --threads.  The cheap SkyWalk comparator loop
+// (no QAP — its generator fixes the placement) stays bench-side.
 
 #include "bench_common.hpp"
 
-#include "layout/power.hpp"
-#include "layout/qap.hpp"
 #include "layout/wiring.hpp"
-#include "partition/bisection.hpp"
 #include "topo/skywalk.hpp"
 
 using namespace sfly;
-
-namespace {
-
-struct Pair {
-  topo::LpsParams lps;
-  topo::SlimFlyParams sf;
-};
-
-void emit(Table& t, const std::string& name, const Graph& g,
-          const layout::LayoutResult& lay, double sky_mean, double sky_max) {
-  auto wiring = layout::wiring_stats(g, lay.placement);
-  auto cut = bisection_bandwidth(g, {.restarts = 3, .seed = 5});
-  auto power = layout::power_stats(wiring, cut);
-  t.add_row({name, std::to_string(g.num_vertices()),
-             std::to_string(2 * g.num_edges() / g.num_vertices()),
-             Table::num(lay.mean_wire_m, 2) +
-                 (sky_mean > 0 ? " (" + Table::num(sky_mean, 2) + ")" : ""),
-             Table::num(lay.max_wire_m, 1) +
-                 (sky_max > 0 ? " (" + Table::num(sky_max, 1) + ")" : ""),
-             std::to_string(wiring.electrical), std::to_string(wiring.optical),
-             std::to_string(cut), Table::num(power.total_watts, 0),
-             Table::num(power.mw_per_gbps, 1)});
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   bench::Flags::usage(
       "Table II: wire length & energy efficiency, LPS vs SlimFly (+SkyWalk)",
       "#   --pairs N      topology pairs to run (default 2, --full = 4)\n"
-      "#   --skywalks N   SkyWalk instantiations averaged (default 5, paper 20)");
+      "#   --skywalks N   SkyWalk instantiations averaged (default 5, paper 20)\n"
+      "#   --threads N    engine worker threads (default: all hardware threads)");
   const std::size_t npairs =
-      flags.full() ? 4 : static_cast<std::size_t>(flags.get("--pairs", 2));
+      flags.full() ? 4 : std::min<std::size_t>(flags.get("--pairs", 2), 4);
   const int skywalks =
       static_cast<int>(flags.get("--skywalks", flags.full() ? 20 : 5));
 
+  struct Pair {
+    topo::LpsParams lps;
+    topo::SlimFlyParams sf;
+  };
   const Pair pairs[] = {{{11, 7}, {9}}, {{19, 7}, {13}}, {{23, 11}, {17}},
                         {{29, 13}, {23}}};
+
+  // One kLayout scenario per subject, pair-major (LPS side 0, SF side 1).
+  // NOTE: the seed version used seed 17 for the QAP layout but seed 5 for
+  // the bisection; the engine derives both from one scenario seed (17), so
+  // the Bisection / Power W / mW/Gbps columns shift slightly from pre-port
+  // output (e.g. LPS(11,7) cut 296 -> 288) — same restart budget, valid cut.
+  engine::EngineConfig cfg;
+  cfg.threads = flags.threads();
+  engine::Engine eng(cfg);
+  std::vector<engine::Scenario> batch;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    for (int side = 0; side < 2; ++side) {
+      std::string name = side == 0 ? pairs[i].lps.name() : pairs[i].sf.name();
+      auto build = side == 0
+                       ? std::function<Graph()>(
+                             [p = pairs[i].lps] { return topo::lps_graph(p); })
+                       : std::function<Graph()>(
+                             [p = pairs[i].sf] { return topo::slimfly_graph(p); });
+      eng.register_topology(name, std::move(build));
+      engine::Scenario s;
+      s.topology = name;
+      s.kind = engine::Kind::kLayout;
+      s.layout_em_rounds = 4;
+      s.layout_swap_passes = 4;
+      s.bisection_restarts = 3;  // powers the mW/Gbps efficiency column
+      s.seed = 17;
+      batch.push_back(std::move(s));
+    }
+  }
+  auto results = eng.run(batch);
 
   Table t({"Topology", "Routers", "Radix", "Avg wire m (SkyWalk)",
            "Max wire m (SkyWalk)", "Elec.", "Opt.", "Bisection",
            "Power W", "mW/Gbps"});
-  for (std::size_t i = 0; i < std::min<std::size_t>(npairs, 4); ++i) {
+  for (std::size_t i = 0; i < npairs; ++i) {
     for (int side = 0; side < 2; ++side) {
-      Graph g = side == 0 ? topo::lps_graph(pairs[i].lps)
-                          : topo::slimfly_graph(pairs[i].sf);
-      std::string name = side == 0 ? pairs[i].lps.name() : pairs[i].sf.name();
-      auto lay = layout::optimize_layout(g, {.em_rounds = 4, .swap_passes = 4,
-                                             .seed = 17});
-      // SkyWalk comparators share the machine room and radix.
-      double sky_mean = 0, sky_max = 0;
-      std::uint32_t k = 2 * static_cast<std::uint32_t>(g.num_edges()) /
-                        g.num_vertices();
-      for (int s = 0; s < skywalks; ++s) {
-        auto sky = topo::skywalk_graph({g.num_vertices(), k,
-                                        static_cast<std::uint64_t>(s) + 1, 1.0});
-        auto stats = layout::wiring_stats(sky.graph, sky.placement);
-        sky_mean += stats.mean_wire_m;
-        sky_max = std::max(sky_max, stats.max_wire_m);
+      const auto& r = results[2 * i + side];
+      if (!r.ok) {
+        t.add_row({r.topology, "ERR: " + r.error});
+        continue;
       }
-      sky_mean /= skywalks;
-      emit(t, name, g, lay, side == 0 ? sky_mean : 0, side == 0 ? sky_max : 0);
+      // SkyWalk comparators share the machine room and radix (LPS rows).
+      double sky_mean = 0, sky_max = 0;
+      if (side == 0) {
+        for (int s = 0; s < skywalks; ++s) {
+          auto sky = topo::skywalk_graph({r.vertices, r.radix,
+                                          static_cast<std::uint64_t>(s) + 1, 1.0});
+          auto stats = layout::wiring_stats(sky.graph, sky.placement);
+          sky_mean += stats.mean_wire_m;
+          sky_max = std::max(sky_max, stats.max_wire_m);
+        }
+        sky_mean /= skywalks;
+      }
+      t.add_row({r.topology, std::to_string(r.vertices),
+                 std::to_string(r.radix),
+                 Table::num(r.mean_wire_m, 2) +
+                     (sky_mean > 0 ? " (" + Table::num(sky_mean, 2) + ")" : ""),
+                 Table::num(r.max_wire_m, 1) +
+                     (sky_max > 0 ? " (" + Table::num(sky_max, 1) + ")" : ""),
+                 std::to_string(r.wires_electrical),
+                 std::to_string(r.wires_optical),
+                 Table::num(r.bisection, 0), Table::num(r.power_watts, 0),
+                 Table::num(r.mw_per_gbps, 1)});
     }
-    if (i + 1 < std::min<std::size_t>(npairs, 4)) t.add_row({"---"});
+    if (i + 1 < npairs) t.add_row({"---"});
   }
   t.print();
   std::printf(

@@ -6,8 +6,13 @@
 namespace sfly::engine {
 
 std::shared_ptr<const Graph> Artifacts::graph() {
-  std::call_once(graph_once_,
-                 [this] { graph_ = std::make_shared<const Graph>(build_()); });
+  std::call_once(graph_once_, [this] {
+    graph_ = std::make_shared<const Graph>(build_());
+    // The builder (and any graph copy captured in its closure) is dead
+    // weight once the artifact exists; don't keep it alive for the
+    // engine's lifetime.
+    build_ = nullptr;
+  });
   return graph_;
 }
 
@@ -23,6 +28,12 @@ std::shared_ptr<const Spectra> Artifacts::spectra() {
     spectra_ = std::make_shared<const Spectra>(compute_spectra(*graph()));
   });
   return spectra_;
+}
+
+core::Network Artifacts::make_network(std::string name, core::NetworkOptions opts) {
+  opts.concentration = concentration_;
+  return core::Network::from_graph_shared_tables(std::move(name), *graph(),
+                                                 tables(), opts);
 }
 
 void ArtifactCache::register_topology(std::string name, std::function<Graph()> build,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/spectralfly_net.hpp"
 #include "graph/graph.hpp"
 #include "routing/tables.hpp"
 #include "spectral/spectra.hpp"
@@ -32,6 +33,14 @@ class Artifacts {
   [[nodiscard]] std::shared_ptr<const Graph> graph();
   [[nodiscard]] std::shared_ptr<const routing::Tables> tables();
   [[nodiscard]] std::shared_ptr<const Spectra> spectra();
+
+  /// A core::Network over the cached graph sharing the cached all-pairs
+  /// routing tables (Network::from_graph_shared_tables — no per-call BFS
+  /// rebuild; only the graph's adjacency is copied).  `opts.concentration`
+  /// is overridden from the registration; routing/vcs/sim knobs pass
+  /// through.
+  [[nodiscard]] core::Network make_network(std::string name,
+                                           core::NetworkOptions opts = {});
 
  private:
   std::function<Graph()> build_;

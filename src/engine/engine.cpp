@@ -6,8 +6,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/spectralfly_net.hpp"
 #include "graph/failures.hpp"
 #include "graph/metrics.hpp"
+#include "layout/power.hpp"
+#include "layout/qap.hpp"
+#include "layout/wiring.hpp"
 #include "partition/bisection.hpp"
 #include "sim/traffic.hpp"
 #include "util/parallel.hpp"
@@ -27,25 +31,60 @@ std::uint32_t largest_pow2_at_most(std::uint32_t n) {
   return p;
 }
 
-void eval_structure(const Scenario& s, const Graph& g, Result& r) {
-  auto stats = distance_stats(g);
-  r.connected = stats.connected;
-  if (stats.connected) {
-    r.diameter = stats.diameter;
-    r.mean_hops = stats.mean_distance;
-  }
+// Shared by kStructure and kLayout: the multilevel cut under the
+// scenario's restart budget and seed, recorded raw and normalized.
+std::uint64_t eval_bisection(const Scenario& s, const Graph& g, Result& r) {
   BisectionOptions opts;
   opts.restarts = s.bisection_restarts;
   opts.seed = s.seed;
   const std::uint64_t cut = bisection_bandwidth(g, opts);
   r.bisection = static_cast<double>(cut);
   r.normalized_bisection = normalized_cut(g, cut);
+  return cut;
 }
 
-void eval_spectral(const Spectra& sp, Result& r) {
+void eval_structure(const Scenario& s, const Graph& g, Result& r) {
+  if (s.want_distances) {
+    auto stats = distance_stats(g);
+    r.connected = stats.connected;
+    if (stats.connected) {
+      r.diameter = stats.diameter;
+      r.mean_hops = stats.mean_distance;
+    }
+  } else {
+    // Distance metrics skipped, but never report connected=true unchecked
+    // (failure-perturbed scenarios can disconnect); one O(n+m) BFS.
+    r.connected = is_connected(g);
+  }
+  if (s.want_girth) r.girth = girth(g);
+  if (s.bisection_restarts > 0) eval_bisection(s, g, r);
+}
+
+void eval_spectral(const Spectra& sp, std::uint32_t n, Result& r) {
   r.lambda = sp.lambda;
   r.mu1 = sp.mu1;
   r.ramanujan = sp.ramanujan;
+  r.fiedler_bisection_lb = sp.bisection_lower_bound(n);
+}
+
+void eval_layout(const Scenario& s, const Graph& g, Result& r) {
+  layout::QapOptions qopts;
+  qopts.em_rounds = s.layout_em_rounds;
+  qopts.swap_passes = s.layout_swap_passes;
+  qopts.seed = s.seed;
+  auto lay = layout::optimize_layout(g, qopts);
+  auto wiring = layout::wiring_stats(g, lay.placement);
+  r.placement = std::move(lay.placement);
+  r.mean_wire_m = lay.mean_wire_m;
+  r.max_wire_m = lay.max_wire_m;
+  r.wires_electrical = wiring.electrical;
+  r.wires_optical = wiring.optical;
+  if (s.bisection_restarts > 0) {
+    const std::uint64_t cut = eval_bisection(s, g, r);
+    auto power = layout::power_stats(wiring, cut);
+    r.power_watts = power.total_watts;
+    r.mw_per_gbps = power.mw_per_gbps;
+  }
 }
 
 }  // namespace
@@ -55,6 +94,7 @@ const char* kind_name(Kind k) {
     case Kind::kStructure: return "structure";
     case Kind::kSpectral: return "spectral";
     case Kind::kSimulate: return "simulate";
+    case Kind::kLayout: return "layout";
   }
   return "?";
 }
@@ -66,6 +106,72 @@ void Engine::register_topology(std::string name, std::function<Graph()> build,
   cache_.register_topology(std::move(name), std::move(build), concentration);
 }
 
+SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
+  SimResult r;
+  r.index = index;
+  r.topology = s.topology;
+  r.label = s.label;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto art = cache_.get(s.topology);
+    core::NetworkOptions opts;
+    opts.routing = s.algo;
+    opts.vcs = s.vcs;  // 0 = paper rule, applied by the Network ctor
+    opts.sim = cfg_.sim;
+
+    // Pristine scenarios share the cached all-pairs tables through
+    // Network::from_graph_shared_tables; failure-perturbed ones derive a
+    // scenario-local graph (and tables) from the cached pristine base.
+    core::Network net = [&]() -> core::Network {
+      if (s.failure_fraction > 0.0) {
+        opts.concentration = art->concentration();
+        return core::Network::from_graph(
+            s.topology,
+            delete_random_edges(*art->graph(), s.failure_fraction,
+                                split_seed(s.seed, kFailureStream)),
+            opts);
+      }
+      return art->make_network(s.topology, opts);
+    }();
+
+    auto sim = net.make_simulator(s.seed);
+    r.diameter = net.diameter();
+    if (s.motif) {
+      auto motif = s.motif();
+      auto res = sim::run_motif(*sim, *motif, s.seed, s.motif_compute_ns);
+      r.completion_ns = res.completion_ns;
+      r.messages = res.messages;
+      r.mean_latency_ns = res.mean_latency_ns;
+      r.max_latency_ns = sim->message_latency().max();
+      r.p99_latency_ns = sim->message_latency().percentile(0.99);
+    } else {
+      sim::SyntheticLoad load;
+      load.pattern = s.pattern;
+      load.nranks =
+          s.nranks ? s.nranks : largest_pow2_at_most(sim->num_endpoints());
+      load.message_bytes = s.message_bytes;
+      load.messages_per_rank = s.messages_per_rank;
+      load.offered_load = s.offered_load;
+      load.seed = s.seed;
+      load.placement = s.placement;
+      auto res = run_synthetic(*sim, load);
+      r.max_latency_ns = res.max_latency_ns;
+      r.mean_latency_ns = res.mean_latency_ns;
+      r.p99_latency_ns = res.p99_latency_ns;
+      r.completion_ns = res.completion_ns;
+      r.messages = res.messages;
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
 Result Engine::evaluate(const Scenario& s, std::size_t index) {
   Result r;
   r.index = index;
@@ -75,53 +181,58 @@ Result Engine::evaluate(const Scenario& s, std::size_t index) {
   try {
     auto art = cache_.get(s.topology);
 
-    // Resolve the evaluation graph: the cached pristine one, or a seeded
-    // failure-perturbed derivative (never cached — it is scenario-local).
-    std::shared_ptr<const Graph> base = art->graph();
-    std::shared_ptr<const Graph> g = base;
-    if (s.failure_fraction > 0.0)
-      g = std::make_shared<const Graph>(delete_random_edges(
-          *base, s.failure_fraction, split_seed(s.seed, kFailureStream)));
+    if (s.kind == Kind::kSimulate) {
+      // One sim code path: delegate to the SimScenario evaluator (shared
+      // tables via the Network facade, identical load construction).
+      SimScenario ss;
+      ss.topology = s.topology;
+      ss.algo = s.algo;
+      ss.pattern = s.pattern;
+      ss.offered_load = s.offered_load;
+      ss.nranks = s.nranks;
+      ss.messages_per_rank = s.messages_per_rank;
+      ss.message_bytes = s.message_bytes;
+      ss.vcs = s.vcs;
+      ss.failure_fraction = s.failure_fraction;
+      ss.seed = s.seed;
+      SimResult sr = evaluate_sim(ss, index);
+      if (!sr.ok) throw std::runtime_error(sr.error);
+      auto base = art->graph();
+      r.vertices = base->num_vertices();
+      r.radix = base->num_vertices() ? base->degree(0) : 0;
+      r.diameter = sr.diameter;
+      r.max_latency_ns = sr.max_latency_ns;
+      r.mean_latency_ns = sr.mean_latency_ns;
+      r.p99_latency_ns = sr.p99_latency_ns;
+      r.completion_ns = sr.completion_ns;
+      r.messages = sr.messages;
+    } else {
+      // Resolve the evaluation graph: the cached pristine one, or a seeded
+      // failure-perturbed derivative (never cached — it is scenario-local).
+      std::shared_ptr<const Graph> base = art->graph();
+      std::shared_ptr<const Graph> g = base;
+      if (s.failure_fraction > 0.0)
+        g = std::make_shared<const Graph>(delete_random_edges(
+            *base, s.failure_fraction, split_seed(s.seed, kFailureStream)));
+      r.vertices = g->num_vertices();
+      r.radix = g->num_vertices() ? g->degree(0) : 0;
 
-    switch (s.kind) {
-      case Kind::kStructure:
-        eval_structure(s, *g, r);
-        break;
-      case Kind::kSpectral:
-        if (g == base) {
-          eval_spectral(*art->spectra(), r);
-        } else {
-          eval_spectral(compute_spectra(*g), r);
-        }
-        break;
-      case Kind::kSimulate: {
-        std::shared_ptr<const routing::Tables> tables =
-            g == base ? art->tables()
-                      : std::make_shared<const routing::Tables>(
-                            routing::Tables::build(*g));
-        sim::SimConfig sc = cfg_.sim;
-        sc.concentration = art->concentration();
-        sc.algo = s.algo;
-        sc.vcs = s.vcs ? s.vcs : routing::required_vcs(s.algo, tables->diameter());
-        sc.seed = s.seed;
-        sim::Simulator sim(*g, *tables, sc);
-
-        sim::SyntheticLoad load;
-        load.pattern = s.pattern;
-        load.nranks = s.nranks ? s.nranks
-                               : largest_pow2_at_most(sim.num_endpoints());
-        load.message_bytes = s.message_bytes;
-        load.messages_per_rank = s.messages_per_rank;
-        load.offered_load = s.offered_load;
-        load.seed = s.seed;
-        auto res = run_synthetic(sim, load);
-        r.diameter = tables->diameter();
-        r.max_latency_ns = res.max_latency_ns;
-        r.mean_latency_ns = res.mean_latency_ns;
-        r.p99_latency_ns = res.p99_latency_ns;
-        r.completion_ns = res.completion_ns;
-        r.messages = res.messages;
-        break;
+      switch (s.kind) {
+        case Kind::kStructure:
+          eval_structure(s, *g, r);
+          break;
+        case Kind::kSpectral:
+          if (g == base) {
+            eval_spectral(*art->spectra(), g->num_vertices(), r);
+          } else {
+            eval_spectral(compute_spectra(*g), g->num_vertices(), r);
+          }
+          break;
+        case Kind::kLayout:
+          eval_layout(s, *g, r);
+          break;
+        case Kind::kSimulate:
+          break;  // handled above
       }
     }
     r.ok = true;
@@ -144,6 +255,16 @@ std::vector<Result> Engine::run(const std::vector<Scenario>& batch) {
   return results;
 }
 
+std::vector<SimResult> Engine::run_sims(const std::vector<SimScenario>& batch) {
+  std::vector<SimResult> results(batch.size());
+  TaskPool pool(cfg_.threads);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    pool.submit(
+        [this, &batch, &results, i] { results[i] = evaluate_sim(batch[i], i); });
+  pool.wait();
+  return results;
+}
+
 namespace {
 
 std::string fmt(double v) {
@@ -152,31 +273,54 @@ std::string fmt(double v) {
   return buf;
 }
 
+// Topology names legitimately contain commas ("LPS(3,5)"); quote them
+// and the free-text error/label fields per RFC 4180.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string Engine::csv(const std::vector<Result>& results) {
   std::ostringstream out;
-  out << "index,topology,kind,ok,error,connected,diameter,mean_hops,bisection,"
-         "normalized_bisection,lambda,mu1,ramanujan,max_latency_ns,"
-         "mean_latency_ns,p99_latency_ns,completion_ns,messages,wall_ms\n";
-  // Topology names legitimately contain commas ("LPS(3,5)"); quote them
-  // and the free-text error field per RFC 4180.
-  auto quoted = [](const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"') out += '"';
-      out += c;
-    }
-    out += '"';
-    return out;
-  };
+  out << "index,topology,kind,ok,error,vertices,radix,connected,diameter,"
+         "mean_hops,girth,bisection,normalized_bisection,lambda,mu1,ramanujan,"
+         "fiedler_bisection_lb,"
+         "max_latency_ns,mean_latency_ns,p99_latency_ns,completion_ns,messages,"
+         "mean_wire_m,max_wire_m,wires_electrical,wires_optical,power_watts,"
+         "mw_per_gbps,wall_ms\n";
   for (const auto& r : results) {
     out << r.index << ',' << quoted(r.topology) << ',' << kind_name(r.kind) << ','
-        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << (r.connected ? 1 : 0) << ','
-        << fmt(r.diameter) << ',' << fmt(r.mean_hops) << ',' << fmt(r.bisection)
+        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << r.vertices << ','
+        << r.radix << ',' << (r.connected ? 1 : 0) << ',' << fmt(r.diameter)
+        << ',' << fmt(r.mean_hops) << ',' << r.girth << ',' << fmt(r.bisection)
         << ',' << fmt(r.normalized_bisection) << ',' << fmt(r.lambda) << ','
         << fmt(r.mu1) << ',' << (r.ramanujan ? 1 : 0) << ','
+        << fmt(r.fiedler_bisection_lb) << ','
         << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
+        << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
+        << r.messages << ',' << fmt(r.mean_wire_m) << ',' << fmt(r.max_wire_m)
+        << ',' << r.wires_electrical << ',' << r.wires_optical << ','
+        << fmt(r.power_watts) << ',' << fmt(r.mw_per_gbps) << ','
+        << fmt(r.wall_ms) << '\n';
+  }
+  return out.str();
+}
+
+std::string Engine::sim_csv(const std::vector<SimResult>& results) {
+  std::ostringstream out;
+  out << "index,topology,label,ok,error,diameter,max_latency_ns,"
+         "mean_latency_ns,p99_latency_ns,completion_ns,messages,wall_ms\n";
+  for (const auto& r : results) {
+    out << r.index << ',' << quoted(r.topology) << ',' << quoted(r.label) << ','
+        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << fmt(r.diameter)
+        << ',' << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
         << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
         << r.messages << ',' << fmt(r.wall_ms) << '\n';
   }
@@ -204,6 +348,26 @@ Table Engine::to_table(const std::vector<Result>& results) {
                Table::num(r.max_latency_ns / 1000.0, 1),
                Table::num(r.p99_latency_ns / 1000.0, 1),
                Table::num(r.wall_ms, 1)});
+  }
+  return t;
+}
+
+Table Engine::to_table(const std::vector<SimResult>& results) {
+  Table t({"#", "Topology", "Label", "OK", "Diam", "Max lat (us)", "p99 (us)",
+           "Completion (us)", "Msgs", "Wall ms"});
+  for (const auto& r : results) {
+    if (!r.ok) {
+      t.add_row({std::to_string(r.index), r.topology, r.label,
+                 "ERR: " + r.error, "-", "-", "-", "-", "-",
+                 Table::num(r.wall_ms, 1)});
+      continue;
+    }
+    t.add_row({std::to_string(r.index), r.topology, r.label, "yes",
+               Table::num(r.diameter, 0),
+               Table::num(r.max_latency_ns / 1000.0, 1),
+               Table::num(r.p99_latency_ns / 1000.0, 1),
+               Table::num(r.completion_ns / 1000.0, 1),
+               std::to_string(r.messages), Table::num(r.wall_ms, 1)});
   }
   return t;
 }

@@ -48,15 +48,26 @@ class Engine {
   /// with the error text instead of aborting the batch.
   [[nodiscard]] std::vector<Result> run(const std::vector<Scenario>& batch);
 
+  /// Evaluate a simulation campaign: each SimScenario runs a synthetic
+  /// pattern or Ember motif through a core::Network built over the
+  /// cache's shared routing tables (one all-pairs build per topology).
+  /// Same batch semantics and determinism contract as run().
+  [[nodiscard]] std::vector<SimResult> run_sims(
+      const std::vector<SimScenario>& batch);
+
   /// Evaluate one scenario on the calling thread (no pool).
   [[nodiscard]] Result evaluate(const Scenario& s, std::size_t index = 0);
+  [[nodiscard]] SimResult evaluate_sim(const SimScenario& s,
+                                       std::size_t index = 0);
 
   /// results -> CSV (header + one line per result).
   static void write_csv(std::FILE* out, const std::vector<Result>& results);
   [[nodiscard]] static std::string csv(const std::vector<Result>& results);
+  [[nodiscard]] static std::string sim_csv(const std::vector<SimResult>& results);
 
   /// results -> aligned console table (columns for the union of kinds).
   [[nodiscard]] static Table to_table(const std::vector<Result>& results);
+  [[nodiscard]] static Table to_table(const std::vector<SimResult>& results);
 
  private:
   EngineConfig cfg_;

@@ -3,20 +3,31 @@
 // evaluation space (topology x routing x traffic x failure rate x seed),
 // and a Result carries every metric any scenario kind can produce.  The
 // benches and the design-space sweeps are batches of these.
+//
+// Simulation campaigns (Figs. 6-10, the discrepancy placement probe) use
+// the dedicated SimScenario/SimResult pair: the same topology key and
+// determinism contract, but a workload description rich enough for both
+// synthetic patterns and Ember motifs, evaluated through the core Network
+// facade so engine runs and the seed benches share one code path.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "layout/cabinets.hpp"
 #include "routing/policy.hpp"
+#include "sim/motifs.hpp"
 #include "sim/traffic.hpp"
 
 namespace sfly::engine {
 
 /// What to evaluate for a scenario.
 enum class Kind {
-  kStructure,  // distances / diameter / bisection (Figs. 4-5)
+  kStructure,  // distances / diameter / girth / bisection (Figs. 4-5, Tab. I)
   kSpectral,   // lambda / mu1 / Ramanujan certificate (Table I)
   kSimulate,   // packet-level synthetic-traffic run (Figs. 6-11)
+  kLayout,     // machine-room embedding: wires / power (Fig. 11, Table II)
 };
 
 [[nodiscard]] const char* kind_name(Kind k);
@@ -34,8 +45,17 @@ struct Scenario {
   std::uint32_t message_bytes = 4096;
   std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
 
-  // kStructure knobs.
+  // kStructure knobs.  restarts <= 0 skips the (expensive) bisection so
+  // distance-only sweeps (Table I) stay cheap at paper scale; conversely
+  // want_distances = false skips the O(n*m) all-pairs BFS for cut-only
+  // sweeps (Fig. 4 lower-right).
   int bisection_restarts = 2;
+  bool want_distances = true;
+  bool want_girth = false;  // girth is O(n*m); opt-in (Table I needs it)
+
+  // kLayout knobs (the QAP heuristic runs off `seed`).
+  int layout_em_rounds = 4;
+  int layout_swap_passes = 4;
 
   // Shared knobs.  A failure fraction > 0 deletes that share of links
   // (seeded) before evaluation, so cached pristine artifacts are reused
@@ -51,10 +71,16 @@ struct Result {
   bool ok = false;
   std::string error;  // set when !ok
 
+  // Filled for every kind: from the evaluation graph for analytic kinds
+  // (i.e. post-failure degrees), from the pristine base for kSimulate.
+  std::uint32_t vertices = 0;
+  std::uint32_t radix = 0;  // degree of vertex 0 (regular families)
+
   // Structure metrics.
   bool connected = true;
   double diameter = 0.0;
   double mean_hops = 0.0;
+  std::uint32_t girth = 0;            // 0 unless want_girth
   double bisection = 0.0;             // cut edges (link units)
   double normalized_bisection = 0.0;  // cut / (n*k/2)
 
@@ -62,8 +88,65 @@ struct Result {
   double lambda = 0.0;
   double mu1 = 0.0;
   bool ramanujan = false;
+  double fiedler_bisection_lb = 0.0;  // Fiedler/Mohar bound (link units)
 
   // Simulation metrics.
+  double max_latency_ns = 0.0;
+  double mean_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double completion_ns = 0.0;
+  std::uint64_t messages = 0;
+
+  // Layout metrics (kLayout; placement lets callers derive e.g. the
+  // Fig. 11 physical-latency sweep without re-running the QAP heuristic).
+  layout::Placement placement;
+  double mean_wire_m = 0.0;
+  double max_wire_m = 0.0;
+  std::uint64_t wires_electrical = 0;
+  std::uint64_t wires_optical = 0;
+  double power_watts = 0.0;
+  double mw_per_gbps = 0.0;  // per Gb/s of bisection bandwidth
+
+  double wall_ms = 0.0;  // evaluation wall-clock (excluded from comparisons)
+};
+
+// ---------------------------------------------------------------------------
+// Simulation-campaign vocabulary.
+
+/// One simulation run: topology x routing x workload x seed.  The workload
+/// is either a synthetic pattern sweep point or an Ember motif.
+struct SimScenario {
+  std::string topology;  // key registered with the engine's artifact cache
+  routing::Algo algo = routing::Algo::kMinimal;
+
+  // Synthetic-pattern workload (ignored when `motif` is set).
+  sim::Pattern pattern = sim::Pattern::kRandom;
+  double offered_load = 0.5;
+  std::uint32_t nranks = 0;  // 0 = largest power of two <= #endpoints
+  std::uint32_t messages_per_rank = 16;
+  std::uint32_t message_bytes = 4096;
+  sim::PlacementPolicy placement = sim::PlacementPolicy::kRandom;
+
+  // Ember-motif workload.  Motifs are stateful endpoint machines, so the
+  // scenario carries a factory and every evaluation builds a fresh
+  // instance; non-null selects the motif path over the synthetic one.
+  std::function<std::unique_ptr<sim::Motif>()> motif;
+  double motif_compute_ns = 500.0;
+
+  std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
+  double failure_fraction = 0.0;  // > 0: seeded link deletion before the run
+  std::uint64_t seed = 1;
+  std::string label;  // free-form tag echoed into the result
+};
+
+struct SimResult {
+  std::size_t index = 0;  // position within the submitted batch
+  std::string topology;
+  std::string label;
+  bool ok = false;
+  std::string error;  // set when !ok
+
+  double diameter = 0.0;  // of the routing tables the run used
   double max_latency_ns = 0.0;
   double mean_latency_ns = 0.0;
   double p99_latency_ns = 0.0;

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/spectralfly_net.hpp"
+#include "sim/motifs.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/lps.hpp"
+#include "topo/paley.hpp"
 #include "util/parallel.hpp"
 
 namespace sfly::engine {
@@ -120,6 +122,181 @@ TEST(Engine, ArtifactCacheReturnsSamePointers) {
   EXPECT_EQ(art->tables().get(), tables_before.get());
   EXPECT_EQ(art->spectra().get(), spectra_before.get());
   EXPECT_EQ(art->graph().get(), art->graph().get());
+}
+
+// ---------------------------------------------------------------------
+// Simulation-scenario (SimScenario/run_sims) pins, mirroring the analytic
+// ones above: bitwise serial==parallel determinism and artifact sharing.
+
+std::unique_ptr<Engine> make_sim_engine(unsigned threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  auto eng = std::make_unique<Engine>(cfg);
+  eng->register_topology("Paley(13)", [] { return topo::paley_graph({13}); },
+                         /*concentration=*/4);
+  eng->register_topology(
+      "DF(12)",
+      [] { return topo::dragonfly_graph(topo::DragonFlyParams::canonical(12)); },
+      /*concentration=*/2);
+  return eng;
+}
+
+// UGAL-L + minimal across both topologies and two seeds, plus one Ember
+// motif scenario, so every sim dispatch path is covered.
+std::vector<SimScenario> sim_batch() {
+  std::vector<SimScenario> batch;
+  for (const char* topo : {"Paley(13)", "DF(12)"})
+    for (auto algo : {routing::Algo::kMinimal, routing::Algo::kUgalL})
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        SimScenario s;
+        s.topology = topo;
+        s.algo = algo;
+        s.pattern = sim::Pattern::kShuffle;
+        s.offered_load = 0.4;
+        s.nranks = 32;
+        s.messages_per_rank = 4;
+        s.seed = seed;
+        batch.push_back(std::move(s));
+      }
+  SimScenario m;
+  m.topology = "DF(12)";
+  m.motif = [] { return std::make_unique<sim::FftAllToAll>(4, 4, 1024); };
+  m.seed = 7;
+  batch.push_back(std::move(m));
+  return batch;
+}
+
+TEST(Engine, SimSerialAndParallelResultsIdentical) {
+  auto batch = sim_batch();
+  auto serial = make_sim_engine(1)->run_sims(batch);
+  auto parallel = make_sim_engine(4)->run_sims(batch);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.index, i);
+    EXPECT_EQ(b.index, i);
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_TRUE(b.ok) << b.error;
+    // Every metric must be bitwise identical; wall_ms is excluded.
+    EXPECT_EQ(a.diameter, b.diameter);
+    EXPECT_EQ(a.max_latency_ns, b.max_latency_ns);
+    EXPECT_EQ(a.mean_latency_ns, b.mean_latency_ns);
+    EXPECT_EQ(a.p99_latency_ns, b.p99_latency_ns);
+    EXPECT_EQ(a.completion_ns, b.completion_ns);
+    EXPECT_EQ(a.messages, b.messages);
+  }
+}
+
+TEST(Engine, SimRunsShareCachedArtifacts) {
+  auto eng = make_sim_engine(4);
+  auto batch = sim_batch();
+  (void)eng->run_sims(batch);
+  auto paley = eng->artifacts().get("Paley(13)");
+  auto df = eng->artifacts().get("DF(12)");
+  auto paley_tables = paley->tables();
+  auto df_tables = df->tables();
+  // A second multi-threaded campaign over the same topologies must reuse
+  // the exact cached artifact objects — no rebuild, same pointers.
+  (void)eng->run_sims(batch);
+  EXPECT_EQ(eng->artifacts().get("Paley(13)").get(), paley.get());
+  EXPECT_EQ(eng->artifacts().get("DF(12)").get(), df.get());
+  EXPECT_EQ(paley->tables().get(), paley_tables.get());
+  EXPECT_EQ(df->tables().get(), df_tables.get());
+}
+
+TEST(Engine, SimScenarioMatchesDirectNetworkRun) {
+  // The engine's cached-tables path must reproduce the benches' original
+  // Network::from_graph + run_synthetic code path bitwise.
+  SimScenario s;
+  s.topology = "Paley(13)";
+  s.algo = routing::Algo::kUgalL;
+  s.pattern = sim::Pattern::kShuffle;
+  s.offered_load = 0.5;
+  s.nranks = 32;
+  s.messages_per_rank = 8;
+  s.seed = 42;
+  auto engine_result = make_sim_engine(2)->run_sims({s});
+  ASSERT_TRUE(engine_result[0].ok) << engine_result[0].error;
+
+  core::NetworkOptions opts;
+  opts.concentration = 4;
+  opts.routing = routing::Algo::kUgalL;
+  auto net = core::Network::from_graph("Paley(13)", topo::paley_graph({13}), opts);
+  auto sim = net.make_simulator(42);
+  sim::SyntheticLoad load;
+  load.pattern = sim::Pattern::kShuffle;
+  load.nranks = 32;
+  load.messages_per_rank = 8;
+  load.offered_load = 0.5;
+  load.seed = 42;
+  auto direct = run_synthetic(*sim, load);
+  EXPECT_EQ(engine_result[0].max_latency_ns, direct.max_latency_ns);
+  EXPECT_EQ(engine_result[0].mean_latency_ns, direct.mean_latency_ns);
+  EXPECT_EQ(engine_result[0].p99_latency_ns, direct.p99_latency_ns);
+  EXPECT_EQ(engine_result[0].completion_ns, direct.completion_ns);
+  EXPECT_EQ(engine_result[0].messages, direct.messages);
+}
+
+TEST(Engine, ScenarioKindSimulateDelegatesToSimPath) {
+  // The legacy Scenario{kSimulate} interface and the SimScenario one must
+  // agree bitwise (the former now delegates to the latter).
+  auto eng = make_sim_engine(2);
+  Scenario legacy;
+  legacy.topology = "DF(12)";
+  legacy.kind = Kind::kSimulate;
+  legacy.algo = routing::Algo::kMinimal;
+  legacy.pattern = sim::Pattern::kTranspose;
+  legacy.offered_load = 0.3;
+  legacy.nranks = 64;
+  legacy.messages_per_rank = 4;
+  legacy.seed = 9;
+  SimScenario ss;
+  ss.topology = "DF(12)";
+  ss.algo = routing::Algo::kMinimal;
+  ss.pattern = sim::Pattern::kTranspose;
+  ss.offered_load = 0.3;
+  ss.nranks = 64;
+  ss.messages_per_rank = 4;
+  ss.seed = 9;
+  auto a = eng->run({legacy});
+  auto b = eng->run_sims({ss});
+  ASSERT_TRUE(a[0].ok) << a[0].error;
+  ASSERT_TRUE(b[0].ok) << b[0].error;
+  EXPECT_EQ(a[0].max_latency_ns, b[0].max_latency_ns);
+  EXPECT_EQ(a[0].mean_latency_ns, b[0].mean_latency_ns);
+  EXPECT_EQ(a[0].p99_latency_ns, b[0].p99_latency_ns);
+  EXPECT_EQ(a[0].completion_ns, b[0].completion_ns);
+  EXPECT_EQ(a[0].messages, b[0].messages);
+}
+
+TEST(Engine, LayoutScenarioProducesWiringAndPower) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  Engine eng(cfg);
+  eng.register_topology("Paley(13)", [] { return topo::paley_graph({13}); });
+  Scenario s;
+  s.topology = "Paley(13)";
+  s.kind = Kind::kLayout;
+  s.layout_em_rounds = 2;
+  s.layout_swap_passes = 2;
+  s.bisection_restarts = 2;
+  s.seed = 11;
+  auto serial_eng = Engine({.threads = 1});
+  serial_eng.register_topology("Paley(13)", [] { return topo::paley_graph({13}); });
+  auto r = eng.run({s, s});
+  auto r1 = serial_eng.run({s});
+  ASSERT_TRUE(r[0].ok) << r[0].error;
+  EXPECT_EQ(r[0].placement.cabinet_of.size(), 13u);
+  EXPECT_GT(r[0].mean_wire_m, 0.0);
+  EXPECT_GT(r[0].wires_electrical + r[0].wires_optical, 0u);
+  EXPECT_GT(r[0].power_watts, 0.0);
+  EXPECT_GT(r[0].mw_per_gbps, 0.0);
+  // Deterministic: repeated and serial evaluations agree bitwise.
+  EXPECT_EQ(r[0].mean_wire_m, r[1].mean_wire_m);
+  EXPECT_EQ(r[0].power_watts, r[1].power_watts);
+  EXPECT_EQ(r[0].mean_wire_m, r1[0].mean_wire_m);
+  EXPECT_EQ(r[0].placement.cabinet_of, r1[0].placement.cabinet_of);
 }
 
 TEST(Engine, UnknownTopologyYieldsErrorResultNotThrow) {

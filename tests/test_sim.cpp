@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/spectralfly_net.hpp"
 #include "sim/motifs.hpp"
 #include "sim/traffic.hpp"
+#include "topo/dragonfly.hpp"
 #include "topo/lps.hpp"
+#include "topo/paley.hpp"
 
 namespace sfly::sim {
 namespace {
@@ -182,6 +185,54 @@ TEST(Traffic, SyntheticRunDeliversAll) {
   EXPECT_EQ(res.messages, 128u * 8u);
   EXPECT_GT(res.max_latency_ns, 0.0);
   EXPECT_GE(res.max_latency_ns, res.mean_latency_ns);
+}
+
+// --------------------------------------------------------------------------
+// Golden-value regression pins for the benches' simulation metric.
+//
+// This replicates bench::run_pattern exactly — Network::from_graph (which
+// builds its own tables and applies the paper's VC sizing), seed-42
+// simulator, run_synthetic — and pins the resulting max message time on
+// two small topologies x two patterns.  The engine-backed bench ports run
+// the same workloads through cached shared tables; if either path's
+// simulated results ever drift, these pins fail before a bench silently
+// reports different figures.  Values recorded from the seed simulator.
+
+double run_pattern_equivalent(const char* name, Graph g, std::uint32_t conc,
+                              routing::Algo algo, Pattern pattern, double load,
+                              std::uint32_t nranks, std::uint32_t msgs) {
+  core::NetworkOptions opts;
+  opts.concentration = conc;
+  opts.routing = algo;
+  auto net = core::Network::from_graph(name, std::move(g), opts);
+  auto sim = net.make_simulator(42);
+  SyntheticLoad sl;
+  sl.pattern = pattern;
+  sl.nranks = nranks;
+  sl.messages_per_rank = msgs;
+  sl.offered_load = load;
+  sl.seed = 42;
+  return run_synthetic(*sim, sl).max_latency_ns;
+}
+
+TEST(SimGolden, PaleyMaxMessageTimePinned) {
+  auto g = topo::paley_graph({13});  // 13 routers x conc 4 = 52 endpoints
+  EXPECT_NEAR(run_pattern_equivalent("Paley(13)", g, 4, routing::Algo::kMinimal,
+                                     Pattern::kShuffle, 0.5, 32, 8),
+              3929.7733981270621, 3929.77 * 1e-9);
+  EXPECT_NEAR(run_pattern_equivalent("Paley(13)", g, 4, routing::Algo::kUgalL,
+                                     Pattern::kTranspose, 0.5, 32, 8),
+              3785.4239735150213, 3785.42 * 1e-9);
+}
+
+TEST(SimGolden, DragonFlyMaxMessageTimePinned) {
+  auto g = topo::dragonfly_graph(topo::DragonFlyParams::canonical(12));
+  EXPECT_NEAR(run_pattern_equivalent("DF(12)", g, 2, routing::Algo::kMinimal,
+                                     Pattern::kShuffle, 0.5, 64, 8),
+              8265.3928844097973, 8265.39 * 1e-9);
+  EXPECT_NEAR(run_pattern_equivalent("DF(12)", g, 2, routing::Algo::kUgalL,
+                                     Pattern::kTranspose, 0.5, 64, 8),
+              4712.5834611663977, 4712.58 * 1e-9);
 }
 
 TEST(Motifs, HaloMessageCountAndCompletion) {
