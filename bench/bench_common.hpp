@@ -8,6 +8,7 @@
 // configuration.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +57,13 @@ class Flags {
       }
     return dflt;
   }
+  [[nodiscard]] std::string get_str(const std::string& name,
+                                    const std::string& dflt = "") const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == name) return args_[i + 1];
+    return dflt;
+  }
+
   [[nodiscard]] bool full() const { return has("--full"); }
 
   /// Worker threads for engine-backed benches (0 = all hardware threads).
@@ -141,6 +149,75 @@ inline void register_topologies(engine::Engine& eng,
     eng.register_topology(t.name, [g = t.graph] { return g; }, t.concentration);
 }
 
+/// Force every registered artifact a simulation campaign needs (graph,
+/// all-pairs tables, next-hop index) to materialize now; returns the
+/// build wall-clock in seconds.  Used by the --profile phase-timing flag
+/// to separate artifact construction from scenario evaluation.
+inline double materialize_artifacts_named(engine::Engine& eng,
+                                          const std::vector<std::string>& names) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& name : names) {
+    auto art = eng.artifacts().get(name);
+    (void)art->graph();
+    (void)art->tables();
+    (void)art->next_hops();
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inline double materialize_artifacts(engine::Engine& eng,
+                                    const std::vector<SimTopo>& topos) {
+  std::vector<std::string> names;
+  names.reserve(topos.size());
+  for (const auto& t : topos) names.push_back(t.name);
+  return materialize_artifacts_named(eng, names);
+}
+
+/// Machine-readable perf record for a simulation campaign (BENCH_sim.json):
+/// phase wall-clocks plus total simulator work (events, packet-hops) and
+/// the derived events/sec — the repo's perf-trajectory data point, guarded
+/// by the CI perf smoke stage.
+inline void write_bench_json(const std::string& path, const std::string& campaign,
+                             unsigned threads, double artifact_build_s,
+                             double eval_s,
+                             const std::vector<engine::SimResult>& results) {
+  std::uint64_t events = 0, packets = 0, messages = 0, scenarios_ok = 0;
+  for (const auto& r : results) {
+    if (!r.ok) continue;
+    ++scenarios_ok;
+    events += r.events;
+    packets += r.packets;
+    messages += r.messages;
+  }
+  const double eps = eval_s > 0 ? static_cast<double>(events) / eval_s : 0.0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"campaign\": \"%s\",\n"
+               "  \"threads\": %u,\n"
+               "  \"scenarios\": %llu,\n"
+               "  \"artifact_build_s\": %.6f,\n"
+               "  \"eval_s\": %.6f,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"events\": %llu,\n"
+               "  \"packets_forwarded\": %llu,\n"
+               "  \"messages\": %llu,\n"
+               "  \"events_per_sec\": %.1f\n"
+               "}\n",
+               campaign.c_str(), threads,
+               static_cast<unsigned long long>(scenarios_ok), artifact_build_s,
+               eval_s, artifact_build_s + eval_s,
+               static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(packets),
+               static_cast<unsigned long long>(messages), eps);
+  std::fclose(f);
+}
+
 /// Table I's four families for the first `run_classes` size classes,
 /// registered with the engine and emitted as one (kStructure, kSpectral)
 /// scenario pair per topology — batch index 2*i / 2*i+1 for topology i in
@@ -214,7 +291,11 @@ class LoadSweep {
         for (const auto& t : topos)
           batch.push_back(sim_point(t.name, algo, pattern, load, nranks,
                                     messages_per_rank, seed));
+    const auto t0 = std::chrono::steady_clock::now();
     results_ = eng.run_sims(batch);
+    eval_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
   }
 
   [[nodiscard]] const engine::SimResult& at(std::size_t pattern,
@@ -226,12 +307,17 @@ class LoadSweep {
   [[nodiscard]] const std::vector<sim::Pattern>& patterns() const {
     return patterns_;
   }
+  [[nodiscard]] const std::vector<engine::SimResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] double eval_seconds() const { return eval_seconds_; }
 
  private:
   std::vector<sim::Pattern> patterns_;
   std::vector<double> loads_;
   std::size_t ntopos_;
   std::vector<engine::SimResult> results_;
+  double eval_seconds_ = 0.0;
 };
 
 /// The paper's speedup table for one pattern slice: rows are offered

@@ -3,14 +3,17 @@
 // edges, for comparable ~600-router (and, with --full, ~5-7K-router)
 // instances of the four families.
 //
-// Engine-backed: every (topology, fraction, trial) point is an independent
-// kStructure scenario fanned across the task pool, so all trials of all
-// sweep points run concurrently.  The paper's batch/CoV stopping rule
-// (footnote 1) is applied post-hoc over each point's precomputed trial
-// sequence: we keep the shortest prefix of 10-trial batches whose batch
-// means have CoV < 10%, or all --trials when none converges.  (The seed
-// version evaluated trials one at a time and stopped early; the engine
-// version buys wall-clock with a few speculative trials instead.)
+// Engine-backed with wave-based adaptive scheduling: trials are submitted
+// in waves of growing size (10, then up to 100, up to 1000, ...), every
+// (point, trial) of a wave fanned concurrently across the task pool, and
+// the paper's batch/CoV stopping rule (footnote 1) applied between waves:
+// a point stops contributing trials as soon as some prefix of 10-trial
+// batches has batch-mean CoV < 10%, so converged points recover the seed
+// version's early-stop economy while unconverged points keep the engine's
+// parallelism (crucial at --full scale, 100+ trials/point).  Trial seeds
+// depend only on the trial number, never on the wave split, so the output
+// is bitwise-identical at any --threads and to the precompute-everything
+// schedule.
 
 #include "bench_common.hpp"
 
@@ -29,10 +32,18 @@ struct Subject {
   std::function<Graph()> build;
 };
 
-// Prefix length selected by the CoV rule over per-trial metric values
-// (NaN-free): batches of size ceil(len/10); converged when the CoV of the
-// 10 batch means drops below `cov_target`.
-std::size_t cov_prefix(const std::vector<double>& vals, double cov_target) {
+// Prefix selected by the CoV rule over per-trial metric values (NaN-free):
+// batches of size ceil(len/10); converged when the CoV of the 10 batch
+// means drops below `cov_target`.  `converged` distinguishes the rule
+// firing (stop scheduling trials for this point) from running out of
+// values (the fall-through keeps everything) — the wave scheduler needs
+// that distinction even when both return use == vals.size().
+struct CovPrefix {
+  std::size_t use = 0;
+  bool converged = false;
+};
+
+CovPrefix cov_prefix(const std::vector<double>& vals, double cov_target) {
   for (std::size_t x = 1; 10 * x <= vals.size(); x *= 10) {
     const std::size_t use = 10 * x;
     double means[10];
@@ -47,63 +58,100 @@ std::size_t cov_prefix(const std::vector<double>& vals, double cov_target) {
     double var = 0;
     for (double v : means) var += (v - m) * (v - m);
     double cov = m != 0.0 ? std::sqrt(var / 10.0) / std::fabs(m) : 0.0;
-    if (cov < cov_target) return use;
+    if (cov < cov_target) return {use, true};
   }
-  return vals.size();
+  return {vals.size(), false};
+}
+
+// One sweep point's accumulated trial state across waves.
+struct Point {
+  std::string topology;
+  double fraction = 0.0;
+  std::size_t scheduled = 0;   // trials submitted so far
+  bool converged = false;      // CoV rule satisfied (or point exhausted)
+  std::vector<engine::Result> kept;  // ok && connected trials, trial order
+  std::vector<double> hop_vals;      // convergence tracked on mean distance
+};
+
+engine::Scenario trial_scenario(const Point& p, std::uint64_t trial) {
+  // Trial seeds are derived from the same (9177, trial) base as the
+  // pre-engine bench, but the engine re-splits per component (failure
+  // sampling, bisection), so per-trial numbers differ from the old
+  // output; only the statistics are comparable.
+  engine::Scenario sc;
+  sc.topology = p.topology;
+  sc.kind = engine::Kind::kStructure;
+  sc.failure_fraction = p.fraction;
+  sc.bisection_restarts = 2;
+  sc.seed = split_seed(9177, trial);
+  return sc;
 }
 
 void sweep(engine::Engine& eng, const std::vector<Subject>& subjects,
            const std::vector<double>& fractions, std::uint64_t max_trials) {
   for (const auto& s : subjects) eng.register_topology(s.name, s.build);
 
-  // One scenario per (subject, fraction, trial).  Trial seeds are derived
-  // from the same (9177, trial) base as the pre-engine bench, but the
-  // engine re-splits per component (failure sampling, bisection), so
-  // per-trial numbers differ from the old output; only the statistics are
-  // comparable.
-  std::vector<engine::Scenario> batch;
+  std::vector<Point> points;
   for (const auto& s : subjects)
-    for (double f : fractions)
-      for (std::uint64_t trial = 0; trial < max_trials; ++trial) {
-        engine::Scenario sc;
-        sc.topology = s.name;
-        sc.kind = engine::Kind::kStructure;
-        sc.failure_fraction = f;
-        sc.bisection_restarts = 2;
-        sc.seed = split_seed(9177, trial);
-        batch.push_back(std::move(sc));
-        if (f == 0.0) break;  // pristine graphs are deterministic
+    for (double f : fractions) points.push_back({s.name, f});
+
+  // Waves: every unconverged point contributes its next block of trials
+  // (up to the next CoV checkpoint — 10, 100, 1000, ... — capped at
+  // --trials), the whole wave runs as one parallel batch, and the CoV
+  // rule retires points between waves.  Pristine points (fraction 0) are
+  // deterministic and always retire after their single trial.
+  while (true) {
+    std::vector<engine::Scenario> batch;
+    std::vector<std::pair<std::size_t, std::size_t>> slots;  // (point, trial)
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      Point& p = points[pi];
+      if (p.converged) continue;
+      const std::size_t cap = p.fraction == 0.0 ? 1 : max_trials;
+      std::size_t target = p.fraction == 0.0 ? 1 : 10;
+      while (target <= p.scheduled) target *= 10;
+      target = std::min(target, cap);
+      for (std::size_t t = p.scheduled; t < target; ++t) {
+        batch.push_back(trial_scenario(p, t));
+        slots.emplace_back(pi, t);
       }
-  auto results = eng.run(batch);
+      p.scheduled = target;
+    }
+    if (batch.empty()) break;
+
+    auto results = eng.run(batch);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      Point& p = points[slots[i].first];
+      const auto& r = results[i];
+      if (r.ok && r.connected) {
+        p.kept.push_back(r);
+        p.hop_vals.push_back(r.mean_hops);
+      }
+    }
+    for (Point& p : points) {
+      if (p.converged) continue;
+      const std::size_t cap = p.fraction == 0.0 ? 1 : max_trials;
+      if (cov_prefix(p.hop_vals, 0.10).converged) p.converged = true;
+      if (p.scheduled >= cap) p.converged = true;  // exhausted the budget
+    }
+  }
 
   Table t({"Topology", "Fail frac", "Diameter", "Mean hops", "Bisection BW",
            "Trials"});
   std::size_t at = 0;
   for (const auto& s : subjects) {
     for (double f : fractions) {
-      const std::size_t trials = f == 0.0 ? 1 : max_trials;
-      double diameter_sum = 0, hops_sum = 0, cut_sum = 0;
-      std::vector<double> hop_vals;  // convergence tracked on mean distance
-      std::vector<const engine::Result*> kept;
-      for (std::size_t i = 0; i < trials; ++i) {
-        const auto& r = results[at + i];
-        if (r.ok && r.connected) {
-          kept.push_back(&r);
-          hop_vals.push_back(r.mean_hops);
-        }
-      }
-      const std::size_t use =
-          hop_vals.empty() ? 0 : cov_prefix(hop_vals, 0.10);
-      for (std::size_t i = 0; i < use; ++i) {
-        diameter_sum += kept[i]->diameter;
-        hops_sum += kept[i]->mean_hops;
-        cut_sum += kept[i]->bisection;
-      }
-      at += trials;
+      const Point& p = points[at++];
+      const std::size_t use = cov_prefix(p.hop_vals, 0.10).use;
       if (use == 0) {
         t.add_row({s.name, Table::num(f, 2), "disconnected", "-", "-",
-                   std::to_string(trials)});
+                   std::to_string(p.scheduled)});
         continue;
+      }
+      double diameter_sum = 0, hops_sum = 0, cut_sum = 0;
+      for (std::size_t i = 0; i < use; ++i) {
+        diameter_sum += p.kept[i].diameter;
+        hops_sum += p.kept[i].mean_hops;
+        cut_sum += p.kept[i].bisection;
       }
       t.add_row({s.name, Table::num(f, 2),
                  Table::num(diameter_sum / static_cast<double>(use), 2),

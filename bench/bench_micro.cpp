@@ -4,14 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "core/spectralfly_net.hpp"
 #include "partition/bisection.hpp"
+#include "routing/next_hop_index.hpp"
 #include "routing/tables.hpp"
 #include "sim/traffic.hpp"
 #include "spectral/spectra.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/factory.hpp"
 #include "topo/slimfly.hpp"
+#include "util/rng.hpp"
 
 using namespace sfly;
 
@@ -64,6 +68,92 @@ void BM_Bisection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Bisection)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Simulator hot-path primitives: the per-hop routing decision as the
+// seed's adjacency scan (Tables::sample_next_hop) vs the precomputed
+// NextHopIndex pick, the UGAL queue probe, and a congested-port drain.
+
+void BM_NextHopSampleScan(benchmark::State& state) {
+  auto g = topo::lps_graph({11, 7});
+  auto t = routing::Tables::build(g);
+  const Vertex n = g.num_vertices();
+  std::uint64_t e = 0;
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(e % n);
+    const Vertex v = static_cast<Vertex>((e * 2654435761ull + 1) % n);
+    if (u != v)
+      benchmark::DoNotOptimize(t.sample_next_hop(g, u, v, split_seed(9, e)));
+    ++e;
+  }
+}
+BENCHMARK(BM_NextHopSampleScan);
+
+void BM_NextHopSampleIndexed(benchmark::State& state) {
+  auto g = topo::lps_graph({11, 7});
+  auto t = routing::Tables::build(g);
+  auto idx = routing::NextHopIndex::build(g, t);
+  const Vertex n = g.num_vertices();
+  std::uint64_t e = 0;
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(e % n);
+    const Vertex v = static_cast<Vertex>((e * 2654435761ull + 1) % n);
+    if (u != v) benchmark::DoNotOptimize(idx.pick(u, v, split_seed(9, e)).vert);
+    ++e;
+  }
+}
+BENCHMARK(BM_NextHopSampleIndexed);
+
+void BM_NextHopIndexBuild(benchmark::State& state) {
+  auto g = topo::lps_graph({11, 7});
+  auto t = routing::Tables::build(g);
+  for (auto _ : state) {
+    auto idx = routing::NextHopIndex::build(g, t);
+    benchmark::DoNotOptimize(idx.num_entries());
+  }
+}
+BENCHMARK(BM_NextHopIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_QueueProbe(benchmark::State& state) {
+  // The UGAL congestion signal on a mid-flight simulator: per-port running
+  // byte counter (the pre-index path summed per-VC queue bytes after a
+  // lower_bound port search; the simulator's own hot path skips even the
+  // vertex->port translation by addressing ports by slot).
+  auto net = core::Network::spectralfly({11, 7}, {.concentration = 4});
+  auto sim = net.make_simulator(9);
+  const std::uint32_t eps = sim->num_endpoints();
+  for (std::uint32_t ep = 0; ep < eps; ep += 2) sim->send(ep, ep % 8, 8192, 0.0);
+  sim->run(std::numeric_limits<double>::infinity(), 5000);  // freeze mid-drain
+  const auto& g = net.topology();
+  std::uint64_t e = 0;
+  for (auto _ : state) {
+    const Vertex u = static_cast<Vertex>(e % g.num_vertices());
+    const auto nb = g.neighbors(u);
+    benchmark::DoNotOptimize(sim->queue_probe(u, nb[e % nb.size()]));
+    ++e;
+  }
+}
+BENCHMARK(BM_QueueProbe);
+
+void BM_CongestedDrain(benchmark::State& state) {
+  // try_transmit under heavy contention: every endpoint floods one hot
+  // destination router, so a handful of ports serialize the whole load
+  // and the per-VC FIFOs stay deep (the intrusive-list fast path).
+  auto net = core::Network::spectralfly({11, 7}, {.concentration = 4});
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto sim = net.make_simulator(7);
+    const std::uint32_t eps = sim->num_endpoints();
+    for (std::uint32_t ep = 0; ep < eps; ep += 3)
+      sim->send(ep, ep % 4, 8192, 0.0);
+    bool drained = sim->run();
+    benchmark::DoNotOptimize(drained);
+    events += sim->events_processed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CongestedDrain)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   auto net = core::Network::spectralfly({11, 7}, {.concentration = 4});

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "routing/next_hop_index.hpp"
 #include "routing/policy.hpp"
 #include "routing/tables.hpp"
 #include "sim/simulator.hpp"
@@ -26,7 +27,10 @@ struct NetworkOptions {
   sim::SimConfig sim;  // bandwidth/latency knobs; algo/vcs fields overridden
 };
 
-/// An immutable, analysis-ready interconnect instance.
+/// An immutable, analysis-ready interconnect instance.  The topology is
+/// held by shared_ptr (as the routing tables and next-hop index always
+/// were), so Networks built over an engine::ArtifactCache share one graph
+/// across every scenario instead of copying the adjacency per sim run.
 class Network {
  public:
   /// Build a SpectralFly network over LPS(p,q).
@@ -45,10 +49,23 @@ class Network {
       std::shared_ptr<const routing::Tables> tables,
       const NetworkOptions& opts = {});
 
+  /// Fully shared construction: graph, tables, and (optionally) next-hop
+  /// index all come from the caller — nothing is copied or rebuilt.  This
+  /// is the engine's per-scenario path; `index` may be null, in which case
+  /// it is built lazily on the first make_simulator call.
+  static Network from_shared(
+      std::string name, std::shared_ptr<const Graph> topology,
+      std::shared_ptr<const routing::Tables> tables,
+      std::shared_ptr<const routing::NextHopIndex> index = nullptr,
+      const NetworkOptions& opts = {});
+
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const Graph& topology() const { return topology_; }
+  [[nodiscard]] const Graph& topology() const { return *topology_; }
+  [[nodiscard]] std::shared_ptr<const Graph> topology_ptr() const {
+    return topology_;
+  }
   [[nodiscard]] const routing::Tables& tables() const { return *tables_; }
-  [[nodiscard]] std::uint32_t num_routers() const { return topology_.num_vertices(); }
+  [[nodiscard]] std::uint32_t num_routers() const { return topology_->num_vertices(); }
   [[nodiscard]] std::uint32_t num_endpoints() const {
     return num_routers() * opts_.concentration;
   }
@@ -59,19 +76,25 @@ class Network {
   /// lazily and cached.
   [[nodiscard]] const Spectra& spectra() const;
 
+  /// The precomputed minimal next-hop index — built lazily and cached
+  /// unless construction supplied a shared one.
+  [[nodiscard]] std::shared_ptr<const routing::NextHopIndex> next_hops() const;
+
   /// A ready-to-run simulator instance for this network (fresh state each
-  /// call; the topology and tables are shared).
+  /// call; the topology, tables, and next-hop index are shared).
   [[nodiscard]] std::unique_ptr<sim::Simulator> make_simulator(
       std::uint64_t seed = 1) const;
 
  private:
-  Network(std::string name, Graph g, NetworkOptions opts,
-          std::shared_ptr<const routing::Tables> tables = nullptr);
+  Network(std::string name, std::shared_ptr<const Graph> g, NetworkOptions opts,
+          std::shared_ptr<const routing::Tables> tables = nullptr,
+          std::shared_ptr<const routing::NextHopIndex> index = nullptr);
 
   std::string name_;
-  Graph topology_;
+  std::shared_ptr<const Graph> topology_;
   NetworkOptions opts_;
   std::shared_ptr<const routing::Tables> tables_;
+  mutable std::shared_ptr<const routing::NextHopIndex> index_;
   mutable std::unique_ptr<Spectra> spectra_;
 };
 

@@ -23,6 +23,14 @@ std::shared_ptr<const routing::Tables> Artifacts::tables() {
   return tables_;
 }
 
+std::shared_ptr<const routing::NextHopIndex> Artifacts::next_hops() {
+  std::call_once(next_hops_once_, [this] {
+    next_hops_ = std::make_shared<const routing::NextHopIndex>(
+        routing::NextHopIndex::build(*graph(), *tables()));
+  });
+  return next_hops_;
+}
+
 std::shared_ptr<const Spectra> Artifacts::spectra() {
   std::call_once(spectra_once_, [this] {
     spectra_ = std::make_shared<const Spectra>(compute_spectra(*graph()));
@@ -32,8 +40,8 @@ std::shared_ptr<const Spectra> Artifacts::spectra() {
 
 core::Network Artifacts::make_network(std::string name, core::NetworkOptions opts) {
   opts.concentration = concentration_;
-  return core::Network::from_graph_shared_tables(std::move(name), *graph(),
-                                                 tables(), opts);
+  return core::Network::from_shared(std::move(name), graph(), tables(),
+                                    next_hops(), opts);
 }
 
 void ArtifactCache::register_topology(std::string name, std::function<Graph()> build,

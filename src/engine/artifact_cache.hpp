@@ -16,6 +16,7 @@
 
 #include "core/spectralfly_net.hpp"
 #include "graph/graph.hpp"
+#include "routing/next_hop_index.hpp"
 #include "routing/tables.hpp"
 #include "spectral/spectra.hpp"
 
@@ -32,22 +33,24 @@ class Artifacts {
 
   [[nodiscard]] std::shared_ptr<const Graph> graph();
   [[nodiscard]] std::shared_ptr<const routing::Tables> tables();
+  [[nodiscard]] std::shared_ptr<const routing::NextHopIndex> next_hops();
   [[nodiscard]] std::shared_ptr<const Spectra> spectra();
 
-  /// A core::Network over the cached graph sharing the cached all-pairs
-  /// routing tables (Network::from_graph_shared_tables — no per-call BFS
-  /// rebuild; only the graph's adjacency is copied).  `opts.concentration`
-  /// is overridden from the registration; routing/vcs/sim knobs pass
-  /// through.
+  /// A core::Network sharing the cached graph, all-pairs tables, and
+  /// next-hop index (Network::from_shared — no per-call BFS rebuild, no
+  /// adjacency copy; scenario evaluation is allocation-free on the
+  /// topology).  `opts.concentration` is overridden from the
+  /// registration; routing/vcs/sim knobs pass through.
   [[nodiscard]] core::Network make_network(std::string name,
                                            core::NetworkOptions opts = {});
 
  private:
   std::function<Graph()> build_;
   std::uint32_t concentration_;
-  std::once_flag graph_once_, tables_once_, spectra_once_;
+  std::once_flag graph_once_, tables_once_, next_hops_once_, spectra_once_;
   std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const routing::Tables> tables_;
+  std::shared_ptr<const routing::NextHopIndex> next_hops_;
   std::shared_ptr<const Spectra> spectra_;
 };
 

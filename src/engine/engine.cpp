@@ -161,6 +161,8 @@ SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
       r.completion_ns = res.completion_ns;
       r.messages = res.messages;
     }
+    r.events = sim->events_processed();
+    r.packets = sim->packets_forwarded();
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
@@ -316,13 +318,15 @@ std::string Engine::csv(const std::vector<Result>& results) {
 std::string Engine::sim_csv(const std::vector<SimResult>& results) {
   std::ostringstream out;
   out << "index,topology,label,ok,error,diameter,max_latency_ns,"
-         "mean_latency_ns,p99_latency_ns,completion_ns,messages,wall_ms\n";
+         "mean_latency_ns,p99_latency_ns,completion_ns,messages,events,"
+         "packets,wall_ms\n";
   for (const auto& r : results) {
     out << r.index << ',' << quoted(r.topology) << ',' << quoted(r.label) << ','
         << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << fmt(r.diameter)
         << ',' << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
         << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
-        << r.messages << ',' << fmt(r.wall_ms) << '\n';
+        << r.messages << ',' << r.events << ',' << r.packets << ','
+        << fmt(r.wall_ms) << '\n';
   }
   return out.str();
 }

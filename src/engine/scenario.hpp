@@ -153,6 +153,11 @@ struct SimResult {
   double completion_ns = 0.0;
   std::uint64_t messages = 0;
 
+  // Work counters for perf records (BENCH_sim.json): simulator events
+  // processed and packet-hops forwarded by this scenario's run.
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+
   double wall_ms = 0.0;  // evaluation wall-clock (excluded from comparisons)
 };
 

@@ -1,0 +1,62 @@
+#include "routing/next_hop_index.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sfly::routing {
+
+NextHopIndex NextHopIndex::build(const Graph& g, const Tables& tables) {
+  const Vertex n = g.num_vertices();
+  if (tables.num_vertices() != n)
+    throw std::invalid_argument("NextHopIndex: tables/graph mismatch");
+
+  for (Vertex u = 0; u < n; ++u)
+    if (g.degree(u) > std::numeric_limits<std::uint16_t>::max() + 1ull)
+      throw std::invalid_argument("NextHopIndex: radix exceeds uint16 slots");
+
+  NextHopIndex idx;
+  idx.n_ = n;
+  const std::size_t rows = static_cast<std::size_t>(n) * n;
+  idx.offsets_.assign(rows + 1, 0);
+
+  // Pass 1: per-row counts (written as offsets_[row + 1] so the prefix sum
+  // below lands each row's base at offsets_[row]).
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto nb = g.neighbors(static_cast<Vertex>(u));
+    for (Vertex v = 0; v < n; ++v) {
+      if (static_cast<Vertex>(u) == v) continue;
+      const std::uint8_t du = tables.distance(static_cast<Vertex>(u), v);
+      std::uint32_t c = 0;
+      for (Vertex w : nb)
+        if (tables.distance(w, v) + 1 == du) ++c;
+      idx.offsets_[static_cast<std::size_t>(u) * n + v + 1] = c;
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) idx.offsets_[r + 1] += idx.offsets_[r];
+
+  const std::size_t entries = idx.offsets_[rows];
+  idx.verts_.resize(entries);
+  idx.slots_.resize(entries);
+
+  // Pass 2: fill, preserving adjacency (= scan) order within each row.
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto nb = g.neighbors(static_cast<Vertex>(u));
+    for (Vertex v = 0; v < n; ++v) {
+      if (static_cast<Vertex>(u) == v) continue;
+      const std::uint8_t du = tables.distance(static_cast<Vertex>(u), v);
+      std::uint32_t at = idx.offsets_[static_cast<std::size_t>(u) * n + v];
+      for (std::size_t s = 0; s < nb.size(); ++s) {
+        if (tables.distance(nb[s], v) + 1 == du) {
+          idx.verts_[at] = nb[s];
+          idx.slots_[at] = static_cast<std::uint16_t>(s);
+          ++at;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+}  // namespace sfly::routing

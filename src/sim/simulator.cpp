@@ -8,11 +8,21 @@
 namespace sfly::sim {
 
 Simulator::Simulator(const Graph& topo, const routing::Tables& tables, SimConfig cfg)
-    : topo_(topo), tables_(tables), cfg_(cfg) {
+    : Simulator(topo, tables, nullptr, cfg) {}
+
+Simulator::Simulator(const Graph& topo, const routing::Tables& tables,
+                     std::shared_ptr<const routing::NextHopIndex> index,
+                     SimConfig cfg)
+    : topo_(topo), tables_(tables), index_(std::move(index)), cfg_(cfg) {
   if (tables_.num_vertices() != topo_.num_vertices())
     throw std::invalid_argument("Simulator: tables/topology mismatch");
   if (cfg_.vcs == 0 || cfg_.concentration == 0 || cfg_.packet_bytes == 0)
     throw std::invalid_argument("Simulator: degenerate configuration");
+  if (!index_)
+    index_ = std::make_shared<const routing::NextHopIndex>(
+        routing::NextHopIndex::build(topo_, tables_));
+  else if (index_->num_vertices() != topo_.num_vertices())
+    throw std::invalid_argument("Simulator: next-hop index/topology mismatch");
 
   const Vertex n = topo_.num_vertices();
   // Network ports in adjacency order per router.
@@ -21,42 +31,46 @@ Simulator::Simulator(const Graph& topo, const routing::Tables& tables, SimConfig
   for (Vertex r = 0; r < n; ++r)
     net_port_base_[r + 1] = net_port_base_[r] + topo_.degree(r);
 
-  auto make_port = [&](bool network, bool injection) {
-    Port p;
-    p.is_network = network;
-    p.is_injection = injection;
-    p.q.resize(cfg_.vcs);
-    p.q_bytes.assign(cfg_.vcs, 0);
-    // Network and injection ports push into a downstream router input
-    // buffer and are credit-limited; ejection drains into the NIC freely.
-    p.credits.assign(cfg_.vcs,
-                     network || injection
-                         ? static_cast<std::int64_t>(cfg_.vc_buffer_bytes)
-                         : -1);
-    return p;
-  };
-
-  ports_.reserve(net_port_base_[n] + 2ull * n * cfg_.concentration);
+  const std::uint32_t eps = n * cfg_.concentration;
+  const std::size_t nports = net_port_base_[n] + 2ull * eps;
+  ports_.reserve(nports);
   for (Vertex r = 0; r < n; ++r)
     for (Vertex nb : topo_.neighbors(r)) {
-      Port p = make_port(true, false);
+      Port p;
+      p.is_network = true;
       p.to_router = nb;
-      ports_.push_back(std::move(p));
+      ports_.push_back(p);
     }
-  const std::uint32_t eps = n * cfg_.concentration;
   inject_port_.resize(eps);
   eject_port_.resize(eps);
   for (EndpointId e = 0; e < eps; ++e) {
     inject_port_[e] = static_cast<std::uint32_t>(ports_.size());
-    Port inj = make_port(false, true);
+    Port inj;
+    inj.is_injection = true;
     inj.to_router = router_of(e);
-    ports_.push_back(std::move(inj));
+    ports_.push_back(inj);
     eject_port_[e] = static_cast<std::uint32_t>(ports_.size());
-    Port ej = make_port(false, false);
+    Port ej;
     ej.eject_ep = e;
-    ports_.push_back(std::move(ej));
+    ports_.push_back(ej);
   }
   port_bytes_.assign(ports_.size(), 0);
+
+  // Flat per-(port, VC) queue state.  Network and injection ports push
+  // into a downstream router input buffer and are credit-limited;
+  // ejection drains into the NIC freely (credit -1 = infinite).
+  const std::size_t lanes = ports_.size() * cfg_.vcs;
+  q_head_.assign(lanes, kNil);
+  q_tail_.assign(lanes, kNil);
+  credits_.resize(lanes);
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    const std::int64_t c =
+        ports_[p].is_network || ports_[p].is_injection
+            ? static_cast<std::int64_t>(cfg_.vc_buffer_bytes)
+            : -1;
+    for (std::uint32_t vc = 0; vc < cfg_.vcs; ++vc)
+      credits_[p * cfg_.vcs + vc] = c;
+  }
 }
 
 Simulator::LinkLoad Simulator::link_load() const {
@@ -85,10 +99,7 @@ std::uint32_t Simulator::port_toward(Vertex router, Vertex neighbor) const {
 }
 
 std::uint64_t Simulator::queue_probe(Vertex router, Vertex neighbor) const {
-  const Port& p = ports_[port_toward(router, neighbor)];
-  std::uint64_t total = 0;
-  for (auto b : p.q_bytes) total += b;
-  return total;
+  return ports_[port_toward(router, neighbor)].total_bytes;
 }
 
 std::uint32_t Simulator::alloc_packet(const Packet& p) {
@@ -99,6 +110,10 @@ std::uint32_t Simulator::alloc_packet(const Packet& p) {
     return id;
   }
   packets_.push_back(p);
+  // The free list can hold at most one entry per pooled packet; growing it
+  // here (instead of inside free_packet) keeps the drain-down phase — when
+  // deliveries outpace injections and the free list fills — allocation-free.
+  free_packets_.reserve(packets_.capacity());
   return static_cast<std::uint32_t>(packets_.size() - 1);
 }
 
@@ -135,9 +150,14 @@ void Simulator::handle_inject(MessageId m) {
 }
 
 void Simulator::enqueue(std::uint32_t port, std::uint32_t pkt, std::uint8_t vc) {
-  Port& p = ports_[port];
-  p.q[vc].push_back(pkt);
-  p.q_bytes[vc] += packets_[pkt].bytes;
+  const std::size_t lane = static_cast<std::size_t>(port) * cfg_.vcs + vc;
+  packets_[pkt].next_in_q = kNil;
+  if (q_tail_[lane] == kNil)
+    q_head_[lane] = pkt;
+  else
+    packets_[q_tail_[lane]].next_in_q = pkt;
+  q_tail_[lane] = pkt;
+  ports_[port].total_bytes += packets_[pkt].bytes;
 }
 
 void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
@@ -151,44 +171,49 @@ void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
     return;
   }
 
+  const routing::NextHopIndex& idx = *index_;
   const std::uint64_t entropy =
       split_seed(cfg_.seed, (static_cast<std::uint64_t>(pkt.msg) << 16) ^
                                 (static_cast<std::uint64_t>(pkt.hops) << 8) ^ router);
   if (pkt.hops == 0) {
-    // Source-router routing decision (minimal vs Valiant vs UGAL).
-    pkt.route = routing::source_decision(
-        cfg_.algo, topo_, tables_, router, dst_router, entropy,
-        [this](Vertex at, Vertex next) { return queue_probe(at, next); });
+    // Source-router routing decision (minimal vs Valiant vs UGAL); queue
+    // probes address output ports directly by slot, O(1) each.
+    pkt.route = routing::source_decision_indexed(
+        cfg_.algo, tables_, idx, router, dst_router, entropy,
+        [this](Vertex at, std::uint16_t slot) {
+          return ports_[net_port_base_[at] + slot].total_bytes;
+        });
   }
-  Vertex next;
+  std::uint32_t slot;
   if (cfg_.algo == routing::Algo::kAdaptiveMin) {
     // Per-hop adaptivity within the minimal next-hop set: follow the
-    // least-congested local output port.
-    next = router;
+    // least-congested local output port (first-in-adjacency-order wins
+    // ties, matching the scan the index replaced).
+    const auto row = idx.hops(router, dst_router);
+    const std::uint32_t base = net_port_base_[router];
+    slot = row.slots[0];
     std::uint64_t best_q = ~0ull;
-    const std::uint8_t du = tables_.distance(router, dst_router);
-    for (Vertex w : topo_.neighbors(router)) {
-      if (tables_.distance(w, dst_router) + 1 != du) continue;
-      std::uint64_t q = queue_probe(router, w);
+    for (std::uint32_t i = 0; i < row.count; ++i) {
+      const std::uint64_t q = ports_[base + row.slots[i]].total_bytes;
       if (q < best_q) {
         best_q = q;
-        next = w;
+        slot = row.slots[i];
       }
     }
   } else {
-    next = routing::next_hop(topo_, tables_, router, dst_router, pkt.route,
-                             entropy);
+    slot = routing::next_hop_slot(idx, router, dst_router, pkt.route, entropy);
   }
   std::uint8_t vc = static_cast<std::uint8_t>(
       std::min<std::uint32_t>(pkt.hops, cfg_.vcs - 1));
   pkt.vc = vc;
-  std::uint32_t port = port_toward(router, next);
+  std::uint32_t port = net_port_base_[router] + slot;
   enqueue(port, pkt_id, vc);
   try_transmit(port);
 }
 
 void Simulator::try_transmit(std::uint32_t port_id) {
   Port& p = ports_[port_id];
+  const std::size_t lane0 = static_cast<std::size_t>(port_id) * cfg_.vcs;
   while (true) {
     if (now_ < p.busy_until) {
       // Coalesce wake-ups: one pending retry per port, re-armed when it
@@ -205,9 +230,11 @@ void Simulator::try_transmit(std::uint32_t port_id) {
     std::uint32_t chosen_vc = cfg_.vcs;
     for (std::uint32_t i = 0; i < cfg_.vcs; ++i) {
       std::uint32_t vc = (p.rr + i) % cfg_.vcs;
-      if (p.q[vc].empty()) continue;
-      const Packet& head = packets_[p.q[vc].front()];
-      if (p.credits[vc] < 0 || p.credits[vc] >= static_cast<std::int64_t>(head.bytes)) {
+      const std::uint32_t head_id = q_head_[lane0 + vc];
+      if (head_id == kNil) continue;
+      const Packet& head = packets_[head_id];
+      const std::int64_t credit = credits_[lane0 + vc];
+      if (credit < 0 || credit >= static_cast<std::int64_t>(head.bytes)) {
         chosen_vc = vc;
         break;
       }
@@ -215,11 +242,13 @@ void Simulator::try_transmit(std::uint32_t port_id) {
     if (chosen_vc == cfg_.vcs) return;  // nothing sendable now
     p.rr = (chosen_vc + 1) % cfg_.vcs;
 
-    std::uint32_t pkt_id = p.q[chosen_vc].front();
-    p.q[chosen_vc].pop_front();
+    const std::size_t lane = lane0 + chosen_vc;
+    std::uint32_t pkt_id = q_head_[lane];
     Packet& pkt = packets_[pkt_id];
-    p.q_bytes[chosen_vc] -= pkt.bytes;
-    if (p.credits[chosen_vc] >= 0) p.credits[chosen_vc] -= pkt.bytes;
+    q_head_[lane] = pkt.next_in_q;
+    if (q_head_[lane] == kNil) q_tail_[lane] = kNil;
+    p.total_bytes -= pkt.bytes;
+    if (credits_[lane] >= 0) credits_[lane] -= pkt.bytes;
 
     const double ser = pkt.bytes / cfg_.bandwidth_bytes_per_ns;
     const double done = now_ + ser;
@@ -261,12 +290,17 @@ void Simulator::handle_deliver(std::uint32_t pkt_id) {
 }
 
 bool Simulator::run(double until, std::uint64_t max_events) {
+  // All messages scheduled so far will record one latency sample each;
+  // reserving here keeps the delivery path allocation-free for workloads
+  // that submit their sends up front (the synthetic patterns).
+  latency_.reserve(msgs_.size());
   std::uint64_t processed = 0;
   while (!events_.empty() && processed < max_events) {
     if (events_.top().time > until) return false;
     Event e = events_.pop();
     now_ = e.time;
     ++processed;
+    ++events_processed_;
     switch (e.kind) {
       case EventKind::kInjectMessage:
         handle_inject(static_cast<MessageId>(e.a));
@@ -279,10 +313,10 @@ bool Simulator::run(double until, std::uint64_t max_events) {
         try_transmit(static_cast<std::uint32_t>(e.a));
         break;
       case EventKind::kCreditReturn: {
-        Port& p = ports_[e.a];
         std::uint32_t vc = static_cast<std::uint32_t>(e.b >> 32);
         std::uint32_t bytes = static_cast<std::uint32_t>(e.b & 0xFFFFFFFF);
-        if (p.credits[vc] >= 0) p.credits[vc] += bytes;
+        const std::size_t lane = e.a * cfg_.vcs + vc;
+        if (credits_[lane] >= 0) credits_[lane] += bytes;
         try_transmit(static_cast<std::uint32_t>(e.a));
         break;
       }

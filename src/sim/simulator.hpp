@@ -9,14 +9,22 @@
 // every network hop (Section V-A), which makes the channel dependency
 // graph acyclic and the simulation deadlock-free when the VC pool is
 // sized per routing::required_vcs.
+//
+// Hot-path structure (DESIGN.md §4): every routing decision is one
+// NextHopIndex pick (no adjacency scan, no distance-matrix probes), every
+// queue probe reads a per-port running byte counter (no per-VC sum, no
+// lower_bound), and the per-VC FIFOs are intrusive singly-linked lists
+// threaded through the pooled Packet records — after warm-up the event
+// loop performs zero allocations per simulated event.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "routing/next_hop_index.hpp"
 #include "routing/policy.hpp"
 #include "routing/tables.hpp"
 #include "sim/event_queue.hpp"
@@ -50,7 +58,15 @@ struct MessageRecord {
 
 class Simulator {
  public:
+  /// Builds a private next-hop index from `tables` (one scan over every
+  /// (router, dst) pair).  Callers that simulate the same topology many
+  /// times should build the index once and use the sharing constructor.
   Simulator(const Graph& topo, const routing::Tables& tables, SimConfig cfg);
+
+  /// Shares a prebuilt next-hop index (e.g. out of an engine::ArtifactCache
+  /// or a core::Network); `index` must have been built over `topo`+`tables`.
+  Simulator(const Graph& topo, const routing::Tables& tables,
+            std::shared_ptr<const routing::NextHopIndex> index, SimConfig cfg);
 
   [[nodiscard]] std::uint32_t num_endpoints() const {
     return topo_.num_vertices() * cfg_.concentration;
@@ -76,6 +92,14 @@ class Simulator {
   [[nodiscard]] const std::vector<MessageRecord>& messages() const { return msgs_; }
   [[nodiscard]] double completion_time() const { return completion_; }
   [[nodiscard]] std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Bytes currently queued across all VCs of the output port from
+  /// `router` toward its neighbor `neighbor` — UGAL's congestion signal.
+  /// O(1): a running per-port counter maintained by enqueue/dequeue (the
+  /// vertex->port translation is the only remaining lookup; the simulator's
+  /// own hot path addresses ports by slot and skips even that).
+  [[nodiscard]] std::uint64_t queue_probe(Vertex router, Vertex neighbor) const;
 
   /// Per-network-link load: bytes forwarded over each directed router
   /// port.  The coefficient of variation quantifies hot links (the
@@ -89,6 +113,7 @@ class Simulator {
 
  private:
   static constexpr std::uint32_t kNoPort = 0xFFFFFFFF;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFF;  // intrusive-list null
 
   struct Packet {
     MessageId msg = 0;
@@ -99,6 +124,7 @@ class Simulator {
     std::uint8_t hops = 0;
     std::uint32_t upstream_port = kNoPort;  // credit return target
     std::uint8_t upstream_vc = 0;
+    std::uint32_t next_in_q = kNil;  // intrusive per-VC FIFO link
   };
 
   struct Port {
@@ -108,10 +134,8 @@ class Simulator {
     bool is_injection = false;
     bool retry_scheduled = false;  // at most one pending kTryTransmit
     double busy_until = 0.0;
-    std::uint32_t rr = 0;        // round-robin VC scan start
-    std::vector<std::deque<std::uint32_t>> q;  // packet ids per VC
-    std::vector<std::uint64_t> q_bytes;        // per VC
-    std::vector<std::int64_t> credits;         // per VC (bytes); -1 = infinite
+    std::uint32_t rr = 0;          // round-robin VC scan start
+    std::uint64_t total_bytes = 0; // queued bytes across VCs (queue_probe)
   };
 
   void handle_inject(MessageId m);
@@ -120,7 +144,6 @@ class Simulator {
   void handle_deliver(std::uint32_t pkt);
   void enqueue(std::uint32_t port, std::uint32_t pkt, std::uint8_t vc);
   [[nodiscard]] std::uint32_t port_toward(Vertex router, Vertex neighbor) const;
-  [[nodiscard]] std::uint64_t queue_probe(Vertex router, Vertex neighbor) const;
   [[nodiscard]] Vertex router_of(EndpointId ep) const {
     return static_cast<Vertex>(ep / cfg_.concentration);
   }
@@ -129,12 +152,20 @@ class Simulator {
 
   const Graph& topo_;
   const routing::Tables& tables_;
+  std::shared_ptr<const routing::NextHopIndex> index_;
   SimConfig cfg_;
 
   std::vector<Port> ports_;
   std::vector<std::uint32_t> net_port_base_;   // per router, into ports_
   std::vector<std::uint32_t> inject_port_;     // per endpoint
   std::vector<std::uint32_t> eject_port_;      // per endpoint
+
+  // Per-(port, VC) FIFO state, flat at port * vcs + vc: intrusive list
+  // head/tail into packets_ and downstream credits.  (Queued-byte totals
+  // live per port — Port::total_bytes — since nothing probes per VC.)
+  std::vector<std::uint32_t> q_head_;
+  std::vector<std::uint32_t> q_tail_;
+  std::vector<std::int64_t> credits_;  // bytes; -1 = infinite (ejection)
 
   std::vector<Packet> packets_;
   std::vector<std::uint32_t> free_packets_;
@@ -148,6 +179,7 @@ class Simulator {
   double now_ = 0.0;
   double completion_ = 0.0;
   std::uint64_t packets_forwarded_ = 0;
+  std::uint64_t events_processed_ = 0;
   LatencyStats latency_;
   std::function<void(const MessageRecord&)> on_delivery_;
 };

@@ -10,6 +10,11 @@ class LatencyStats {
  public:
   void record(double latency_ns);
 
+  /// Pre-size the sample store so `record` stays allocation-free for the
+  /// next `n` samples (the simulator reserves its scheduled message count
+  /// when run() starts).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ ? sum_ / count_ : 0.0; }
   [[nodiscard]] double max() const { return max_; }

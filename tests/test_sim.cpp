@@ -235,6 +235,33 @@ TEST(SimGolden, DragonFlyMaxMessageTimePinned) {
               4712.5834611663977, 4712.58 * 1e-9);
 }
 
+// UGAL-G and adaptive-min exercise the remaining routing decision paths
+// (two-hop-ahead queue probes; per-hop min-queue choice over the minimal
+// next-hop set).  Values recorded from the pre-index scan-based simulator
+// — the NextHopIndex path must reproduce them bitwise.
+
+TEST(SimGolden, PaleyUgalGAndAdaptiveMinPinned) {
+  auto g = topo::paley_graph({13});
+  EXPECT_NEAR(run_pattern_equivalent("Paley(13)", g, 4, routing::Algo::kUgalG,
+                                     Pattern::kShuffle, 0.5, 32, 8),
+              3728.7649042013509, 3728.76 * 1e-9);
+  EXPECT_NEAR(run_pattern_equivalent("Paley(13)", g, 4,
+                                     routing::Algo::kAdaptiveMin,
+                                     Pattern::kTranspose, 0.5, 32, 8),
+              2829.1726543589966, 2829.17 * 1e-9);
+}
+
+TEST(SimGolden, DragonFlyUgalGAndAdaptiveMinPinned) {
+  auto g = topo::dragonfly_graph(topo::DragonFlyParams::canonical(12));
+  EXPECT_NEAR(run_pattern_equivalent("DF(12)", g, 2, routing::Algo::kUgalG,
+                                     Pattern::kShuffle, 0.5, 64, 8),
+              4915.1605038587586, 4915.16 * 1e-9);
+  EXPECT_NEAR(run_pattern_equivalent("DF(12)", g, 2,
+                                     routing::Algo::kAdaptiveMin,
+                                     Pattern::kTranspose, 0.5, 64, 8),
+              4712.5834611663977, 4712.58 * 1e-9);
+}
+
 TEST(Motifs, HaloMessageCountAndCompletion) {
   auto g = cycle_graph(16);
   auto t = routing::Tables::build(g);
