@@ -3,44 +3,43 @@
 // inter-bundle matchings (identity vs affine vs optimized), and the
 // bisector's restart budget.
 //
-// Engine-backed: each construction variant registers as its own topology
-// and every measured point is one kStructure scenario in a single batch
-// over --threads.  The restart ablation's four scenarios share ONE cached
-// LPS(23,11) graph build instead of rebuilding it per restart budget.
+// Campaign-backed, three declared phases: each construction variant
+// registers as its own topology axis value, and the restart ablation is a
+// restart-budget axis over ONE cached LPS(23,11) graph build instead of
+// rebuilding it per budget.
 
 #include "bench_common.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Ablation: topology construction choices",
-      "#   --threads N  engine worker threads (default: all hardware threads)");
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Ablation: topology construction choices",
+       "#   --threads N  engine worker threads (default: all hardware threads)",
+       {}});
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-
-  std::vector<engine::Scenario> batch;
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "ablation_topology");
 
   // --- DragonFly arrangement: full structure incl. bisection ------------
   const std::pair<topo::GlobalArrangement, const char*> arrangements[] = {
       {topo::GlobalArrangement::kCirculant, "circulant"},
       {topo::GlobalArrangement::kAbsolute, "absolute"}};
-  for (auto [arr, label] : arrangements) {
-    std::string name = std::string("DF(16)-") + label;
-    eng.register_topology(name, [arr] {
-      auto params = topo::DragonFlyParams::canonical(16);
-      params.arrangement = arr;
-      return topo::dragonfly_graph(params);
-    });
-    engine::Scenario s;
-    s.topology = name;
-    s.kind = engine::Kind::kStructure;
-    s.bisection_restarts = 4;
-    s.seed = 3;
-    batch.push_back(std::move(s));
+  {
+    std::vector<engine::TopologySpec> specs;
+    for (auto [arr, label] : arrangements)
+      specs.push_back({std::string("DF(16)-") + label, [arr] {
+                         auto params = topo::DragonFlyParams::canonical(16);
+                         params.arrangement = arr;
+                         return topo::dragonfly_graph(params);
+                       }});
+    engine::CampaignBuilder grid;
+    grid.proto().kind = engine::Kind::kStructure;
+    grid.proto().bisection_restarts = 4;
+    grid.proto().seed = opts.seed_or(3);
+    grid.topologies(std::move(specs));
+    camp.analytic("DF arrangement", std::move(grid));
   }
 
   // --- BundleFly matchings: distances only ------------------------------
@@ -48,35 +47,36 @@ int main(int argc, char** argv) {
       {topo::BundleShift::kIdentity, "identity"},
       {topo::BundleShift::kAffine, "affine (random)"},
       {topo::BundleShift::kOptimized, "affine (optimized)"}};
-  for (auto [shift, label] : matchings) {
-    std::string name = std::string("BF(13,3)-") + label;
-    eng.register_topology(name,
-                          [shift] { return topo::bundlefly_graph({13, 3, shift}); });
-    engine::Scenario s;
-    s.topology = name;
-    s.kind = engine::Kind::kStructure;
-    s.bisection_restarts = 0;  // diameter/mean distance only
-    batch.push_back(std::move(s));
+  {
+    std::vector<engine::TopologySpec> specs;
+    for (auto [shift, label] : matchings)
+      specs.push_back({std::string("BF(13,3)-") + label, [shift] {
+                         return topo::bundlefly_graph({13, 3, shift});
+                       }});
+    engine::CampaignBuilder grid;
+    grid.proto().kind = engine::Kind::kStructure;
+    grid.proto().bisection_restarts = 0;  // diameter/mean distance only
+    grid.topologies(std::move(specs));
+    camp.analytic("BF matchings", std::move(grid));
   }
 
   // --- Bisector restarts: four budgets over one cached graph ------------
-  eng.register_topology("LPS(23,11)", [] { return topo::lps_graph({23, 11}); });
-  const int restart_budgets[] = {1, 2, 4, 8};
-  for (int r : restart_budgets) {
-    engine::Scenario s;
-    s.topology = "LPS(23,11)";
-    s.kind = engine::Kind::kStructure;
-    s.want_distances = false;  // this table prints the cut only
-    s.bisection_restarts = r;
-    s.seed = 9;
-    batch.push_back(std::move(s));
+  {
+    engine::CampaignBuilder grid;
+    grid.proto().kind = engine::Kind::kStructure;
+    grid.proto().want_distances = false;  // this table prints the cut only
+    grid.proto().seed = 9;
+    grid.topologies({{"LPS(23,11)", [] { return topo::lps_graph({23, 11}); }}})
+        .restarts({1, 2, 4, 8});
+    camp.analytic("bisector restarts", std::move(grid));
   }
 
-  auto results = eng.run(batch);
-  std::size_t at = 0;
+  if (!bench::run_campaign(camp, opts)) return 0;
 
   {
+    const auto& results = camp.phase("DF arrangement").results();
     Table t({"Arrangement", "Bisection cut", "Mean distance"});
+    std::size_t at = 0;
     for (auto [arr, label] : arrangements) {
       const auto& r = results[at++];
       t.add_row({label, r.ok ? Table::num(r.bisection, 0) : "ERR",
@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
   }
 
   {
+    const auto& results = camp.phase("BF matchings").results();
     Table t({"Matching", "Diameter", "Mean distance"});
+    std::size_t at = 0;
     for (auto [shift, label] : matchings) {
       const auto& r = results[at++];
       t.add_row({label, r.ok ? Table::num(r.diameter, 0) : "ERR",
@@ -101,10 +103,12 @@ int main(int argc, char** argv) {
   }
 
   {
+    const auto& results = camp.phase("bisector restarts").results();
     Table t({"Restarts", "Cut (links)"});
-    for (int rb : restart_budgets) {
-      const auto& r = results[at++];
-      t.add_row({std::to_string(rb),
+    const auto& scenarios = camp.phase("bisector restarts").scenarios();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      t.add_row({std::to_string(scenarios[i].bisection_restarts),
                  r.ok ? Table::num(r.bisection, 0) : "ERR"});
     }
     std::printf("== Multilevel bisector restarts on LPS(23,11) ==\n");

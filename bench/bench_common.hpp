@@ -1,7 +1,11 @@
 #pragma once
-// Shared helpers for the per-figure/per-table benchmark harnesses: a tiny
-// flag parser (--full, --seed N, ...) and the simulation-campaign runner
-// used by the Section VI benches.
+// Shared helpers for the per-figure/per-table benchmark harnesses, built
+// on the engine's declarative campaign layer: benches declare sweep axes
+// (engine/campaign.hpp), parse one shared option surface
+// (util/options.hpp: --threads/--full/--seed/--csv/--json/--profile/
+// --progress/--dry-run/--help plus bench-specific flags), and stream
+// results through sinks — no bench hand-rolls a sweep loop or a flag
+// parser.
 //
 // Every bench defaults to a reduced-scale preset that reproduces the
 // paper's qualitative shape in minutes; pass --full for the exact paper
@@ -12,73 +16,23 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/spectralfly_net.hpp"
+#include "engine/campaign.hpp"
 #include "engine/engine.hpp"
+#include "engine/sink.hpp"
 #include "sim/traffic.hpp"
 #include "topo/bundlefly.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/factory.hpp"
 #include "topo/lps.hpp"
 #include "topo/slimfly.hpp"
+#include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace sfly::bench {
-
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
-  }
-  [[nodiscard]] bool has(const std::string& name) const {
-    for (const auto& a : args_)
-      if (a == name) return true;
-    return false;
-  }
-  [[nodiscard]] std::uint64_t get(const std::string& name, std::uint64_t dflt) const {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
-      if (args_[i] == name) {
-        // stoull silently wraps negatives ("-1" -> 2^64-1), so insist on a
-        // leading digit before parsing.
-        const std::string& v = args_[i + 1];
-        if (!v.empty() && v[0] >= '0' && v[0] <= '9') {
-          try {
-            return std::stoull(v);
-          } catch (const std::exception&) {
-            // fall through to the shared error path
-          }
-        }
-        std::fprintf(stderr, "error: %s expects a non-negative number, got '%s'\n",
-                     name.c_str(), v.c_str());
-        std::exit(2);
-      }
-    return dflt;
-  }
-  [[nodiscard]] std::string get_str(const std::string& name,
-                                    const std::string& dflt = "") const {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
-      if (args_[i] == name) return args_[i + 1];
-    return dflt;
-  }
-
-  [[nodiscard]] bool full() const { return has("--full"); }
-
-  /// Worker threads for engine-backed benches (0 = all hardware threads).
-  [[nodiscard]] unsigned threads() const {
-    return static_cast<unsigned>(get("--threads", 0));
-  }
-
-  static void usage(const char* what, const char* extra = "") {
-    std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",
-                what, extra);
-  }
-
- private:
-  std::vector<std::string> args_;
-};
 
 // ---------------------------------------------------------------------
 // The four simulation-scale topologies of Section VI-B.
@@ -109,6 +63,17 @@ inline std::vector<SimTopo> simulation_topologies(bool full) {
   return out;
 }
 
+/// SimTopos as campaign topology-axis values (graphs are copied into the
+/// builder closures; the cache materializes each lazily, at most once).
+inline std::vector<engine::TopologySpec> topo_specs(
+    const std::vector<SimTopo>& topos) {
+  std::vector<engine::TopologySpec> out;
+  out.reserve(topos.size());
+  for (const auto& t : topos)
+    out.push_back({t.name, [g = t.graph] { return g; }, t.concentration});
+  return out;
+}
+
 // One synthetic-pattern run; returns the paper's metric (max message time).
 // Kept as the engine-free reference path: tests/test_sim.cpp golden-pins
 // its values, and tests/test_engine.cpp pins that engine-backed scenarios
@@ -133,197 +98,84 @@ inline double run_pattern(const SimTopo& t, routing::Algo algo, sim::Pattern pat
 
 inline const double kLoads[] = {0.1, 0.2, 0.3, 0.5, 0.6, 0.7};
 
+inline std::vector<double> load_points() {
+  return {std::begin(kLoads), std::end(kLoads)};
+}
+
 // ---------------------------------------------------------------------
-// Engine-backed campaign helpers.  Every simulation bench builds ONE
-// engine, registers its topologies once, and submits its whole sweep as
-// one batch: the artifact cache builds each topology's graph and
-// all-pairs routing tables at most once, and the batch fans across
-// --threads workers with bitwise-deterministic results.
+// Campaign orchestration shared by every bench.
 
-/// Register every simulation topology with an engine.  The graphs are
-/// copied into the builder closures; the cache materializes each lazily,
-/// at most once.
-inline void register_topologies(engine::Engine& eng,
-                                const std::vector<SimTopo>& topos) {
-  for (const auto& t : topos)
-    eng.register_topology(t.name, [g = t.graph] { return g; }, t.concentration);
-}
-
-/// Force every registered artifact a simulation campaign needs (graph,
-/// all-pairs tables, next-hop index) to materialize now; returns the
-/// build wall-clock in seconds.  Used by the --profile phase-timing flag
-/// to separate artifact construction from scenario evaluation.
-inline double materialize_artifacts_named(engine::Engine& eng,
-                                          const std::vector<std::string>& names) {
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& name : names) {
-    auto art = eng.artifacts().get(name);
-    (void)art->graph();
-    (void)art->tables();
-    (void)art->next_hops();
+/// The standard campaign tail: print the plan and stop under --dry-run;
+/// otherwise materialize artifacts when phase timing is being recorded
+/// (--profile, or `materialize` forced by a perf-record flag), then run
+/// every phase with the options' sinks plus any bench-specific `extra`
+/// sinks.  Returns false when the bench should exit (dry run).
+inline bool run_campaign(engine::Campaign& camp, StandardOptions& opts,
+                         const std::vector<engine::ResultSink*>& extra = {},
+                         bool materialize = false) {
+  if (opts.dry_run()) {
+    camp.print_plan();
+    return false;
   }
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  if (opts.profile() || materialize) camp.materialize_artifacts();
+  auto sinks = opts.sinks();
+  sinks.insert(sinks.end(), extra.begin(), extra.end());
+  camp.run(sinks);
+  return true;
 }
 
-inline double materialize_artifacts(engine::Engine& eng,
-                                    const std::vector<SimTopo>& topos) {
-  std::vector<std::string> names;
-  names.reserve(topos.size());
-  for (const auto& t : topos) names.push_back(t.name);
-  return materialize_artifacts_named(eng, names);
+/// The uniform --profile epilogue (phase timing: one-off artifact build
+/// vs scenario evaluation).
+inline void print_profile(const engine::Campaign& camp,
+                          const StandardOptions& opts) {
+  if (!opts.profile()) return;
+  std::printf("\n== --profile phase timing ==\n"
+              "artifact build (graphs + tables + next-hop index): %.3f s\n"
+              "scenario evaluation (%zu scenarios):               %.3f s\n",
+              camp.artifact_build_seconds(), camp.total_scenarios(),
+              camp.eval_seconds());
 }
 
-/// Machine-readable perf record for a simulation campaign (BENCH_sim.json):
-/// phase wall-clocks plus total simulator work (events, packet-hops) and
-/// the derived events/sec — the repo's perf-trajectory data point, guarded
-/// by the CI perf smoke stage.
-inline void write_bench_json(const std::string& path, const std::string& campaign,
-                             unsigned threads, double artifact_build_s,
-                             double eval_s,
-                             const std::vector<engine::SimResult>& results) {
-  std::uint64_t events = 0, packets = 0, messages = 0, scenarios_ok = 0;
-  for (const auto& r : results) {
-    if (!r.ok) continue;
-    ++scenarios_ok;
-    events += r.events;
-    packets += r.packets;
-    messages += r.messages;
-  }
-  const double eps = eval_s > 0 ? static_cast<double>(events) / eval_s : 0.0;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fprintf(f,
-               "{\n"
-               "  \"campaign\": \"%s\",\n"
-               "  \"threads\": %u,\n"
-               "  \"scenarios\": %llu,\n"
-               "  \"artifact_build_s\": %.6f,\n"
-               "  \"eval_s\": %.6f,\n"
-               "  \"wall_s\": %.6f,\n"
-               "  \"events\": %llu,\n"
-               "  \"packets_forwarded\": %llu,\n"
-               "  \"messages\": %llu,\n"
-               "  \"events_per_sec\": %.1f\n"
-               "}\n",
-               campaign.c_str(), threads,
-               static_cast<unsigned long long>(scenarios_ok), artifact_build_s,
-               eval_s, artifact_build_s + eval_s,
-               static_cast<unsigned long long>(events),
-               static_cast<unsigned long long>(packets),
-               static_cast<unsigned long long>(messages), eps);
-  std::fclose(f);
-}
-
-/// Table I's four families for the first `run_classes` size classes,
-/// registered with the engine and emitted as one (kStructure, kSpectral)
-/// scenario pair per topology — batch index 2*i / 2*i+1 for topology i in
-/// class-major, LPS/SlimFly/BundleFly/DragonFly order.  `structure_knobs`
-/// customizes each kStructure scenario (girth vs cut-only, restarts, seed).
-inline std::vector<engine::Scenario> class_scenario_pairs(
-    engine::Engine& eng, std::size_t run_classes,
-    const std::function<void(engine::Scenario&)>& structure_knobs) {
+/// Table I's four families for the first `run_classes` size classes as a
+/// campaign grid: a topology axis in class-major, LPS/SlimFly/BundleFly/
+/// DragonFly order crossed with a (structure, spectral) kind axis — batch
+/// index (class*4 + family)*2 for the structure half, +1 for spectral.
+/// `structure_knobs` customizes the kStructure scenarios (girth vs
+/// cut-only, restarts, seed).
+inline engine::CampaignBuilder class_grid(
+    std::size_t run_classes,
+    std::function<void(engine::Scenario&)> structure_knobs) {
   auto classes = topo::table1_classes();
   run_classes = std::min(run_classes, classes.size());
-  std::vector<engine::Scenario> batch;
-  auto add_topology = [&](const std::string& name, std::function<Graph()> build) {
-    eng.register_topology(name, std::move(build));
-    engine::Scenario st;
-    st.topology = name;
-    st.kind = engine::Kind::kStructure;
-    structure_knobs(st);
-    batch.push_back(st);
-    engine::Scenario sp;
-    sp.topology = name;
-    sp.kind = engine::Kind::kSpectral;
-    batch.push_back(sp);
-  };
+  std::vector<engine::TopologySpec> specs;
   for (std::size_t c = 0; c < run_classes; ++c) {
     const auto& cls = classes[c];
-    add_topology(cls.lps.name(), [p = cls.lps] { return topo::lps_graph(p); });
-    add_topology(cls.slimfly.name(),
-                 [p = cls.slimfly] { return topo::slimfly_graph(p); });
-    add_topology(cls.bundlefly.name(),
-                 [p = cls.bundlefly] { return topo::bundlefly_graph(p); });
-    add_topology("DF(" + std::to_string(cls.dragonfly_a) + ")",
-                 [a = cls.dragonfly_a] {
-                   return topo::dragonfly_graph(topo::DragonFlyParams::canonical(a));
-                 });
+    specs.push_back({cls.lps.name(), [p = cls.lps] { return topo::lps_graph(p); }});
+    specs.push_back({cls.slimfly.name(),
+                     [p = cls.slimfly] { return topo::slimfly_graph(p); }});
+    specs.push_back({cls.bundlefly.name(),
+                     [p = cls.bundlefly] { return topo::bundlefly_graph(p); }});
+    specs.push_back({"DF(" + std::to_string(cls.dragonfly_a) + ")",
+                     [a = cls.dragonfly_a] {
+                       return topo::dragonfly_graph(
+                           topo::DragonFlyParams::canonical(a));
+                     }});
   }
-  return batch;
+  engine::CampaignBuilder grid;
+  grid.topologies(std::move(specs))
+      .kinds({engine::Kind::kStructure, engine::Kind::kSpectral})
+      .each([knobs = std::move(structure_knobs)](engine::Scenario& s) {
+        if (s.kind == engine::Kind::kStructure) knobs(s);
+      });
+  return grid;
 }
 
-/// One synthetic sweep point — the run_pattern() knob set as a SimScenario.
-inline engine::SimScenario sim_point(const std::string& topology,
-                                     routing::Algo algo, sim::Pattern pattern,
-                                     double load, std::uint32_t nranks,
-                                     std::uint32_t messages_per_rank,
-                                     std::uint64_t seed) {
-  engine::SimScenario s;
-  s.topology = topology;
-  s.algo = algo;
-  s.pattern = pattern;
-  s.offered_load = load;
-  s.nranks = nranks;
-  s.messages_per_rank = messages_per_rank;
-  s.seed = seed;
-  return s;
-}
-
-/// The Fig. 6/7 campaign shape: a (pattern x load x topology) grid under
-/// one routing algorithm, evaluated as a single engine batch and read
-/// back by grid coordinates.
-class LoadSweep {
- public:
-  LoadSweep(engine::Engine& eng, const std::vector<SimTopo>& topos,
-            routing::Algo algo, std::vector<sim::Pattern> patterns,
-            std::vector<double> loads, std::uint32_t nranks,
-            std::uint32_t messages_per_rank, std::uint64_t seed)
-      : patterns_(std::move(patterns)), loads_(std::move(loads)),
-        ntopos_(topos.size()) {
-    std::vector<engine::SimScenario> batch;
-    batch.reserve(patterns_.size() * loads_.size() * ntopos_);
-    for (auto pattern : patterns_)
-      for (double load : loads_)
-        for (const auto& t : topos)
-          batch.push_back(sim_point(t.name, algo, pattern, load, nranks,
-                                    messages_per_rank, seed));
-    const auto t0 = std::chrono::steady_clock::now();
-    results_ = eng.run_sims(batch);
-    eval_seconds_ = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-  }
-
-  [[nodiscard]] const engine::SimResult& at(std::size_t pattern,
-                                            std::size_t load,
-                                            std::size_t topo) const {
-    return results_[(pattern * loads_.size() + load) * ntopos_ + topo];
-  }
-  [[nodiscard]] const std::vector<double>& loads() const { return loads_; }
-  [[nodiscard]] const std::vector<sim::Pattern>& patterns() const {
-    return patterns_;
-  }
-  [[nodiscard]] const std::vector<engine::SimResult>& results() const {
-    return results_;
-  }
-  [[nodiscard]] double eval_seconds() const { return eval_seconds_; }
-
- private:
-  std::vector<sim::Pattern> patterns_;
-  std::vector<double> loads_;
-  std::size_t ntopos_;
-  std::vector<engine::SimResult> results_;
-  double eval_seconds_ = 0.0;
-};
-
-/// The paper's speedup table for one pattern slice: rows are offered
-/// loads; columns the non-baseline topologies (speedup of max message
-/// time vs the baseline, index 1 = DragonFly), then the baseline itself.
-inline Table speedup_table(const LoadSweep& sweep, std::size_t pattern_idx,
+/// The paper's speedup table for one pattern slice of a (pattern x load x
+/// topology) phase: rows are offered loads; columns the non-baseline
+/// topologies (speedup of max message time vs the baseline, index 1 =
+/// DragonFly), then the baseline itself.
+inline Table speedup_table(const engine::Phase& phase, std::size_t pattern_idx,
+                           const std::vector<double>& loads,
                            const std::vector<SimTopo>& topos,
                            std::size_t baseline = 1) {
   std::vector<std::string> header{"Offered load"};
@@ -331,12 +183,12 @@ inline Table speedup_table(const LoadSweep& sweep, std::size_t pattern_idx,
     if (t != baseline) header.push_back(topos[t].name);
   header.push_back(topos[baseline].name + " (baseline)");
   Table tab(std::move(header));
-  for (std::size_t li = 0; li < sweep.loads().size(); ++li) {
-    const auto& base = sweep.at(pattern_idx, li, baseline);
-    std::vector<std::string> row{Table::num(sweep.loads()[li], 1)};
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    const auto& base = phase.sim_at({pattern_idx, li, baseline});
+    std::vector<std::string> row{Table::num(loads[li], 1)};
     for (std::size_t t = 0; t < topos.size(); ++t) {
       if (t == baseline) continue;
-      const auto& r = sweep.at(pattern_idx, li, t);
+      const auto& r = phase.sim_at({pattern_idx, li, t});
       row.push_back(base.ok && r.ok && r.max_latency_ns > 0
                         ? Table::num(base.max_latency_ns / r.max_latency_ns, 2)
                         : "ERR");

@@ -4,8 +4,8 @@
 // insensitive to job placement and inter-job contention.  This bench
 // (a) measures empirical discrepancy across the four families and
 // (b) compares clustered vs random job placement sensitivity in the
-// simulator — part (b) is engine-backed (one SimScenario per
-// topology x placement policy, shared cached tables, --threads).
+// simulator — part (b) is campaign-backed (a declared topology x
+// placement grid, shared cached tables, --threads).
 
 #include "bench_common.hpp"
 
@@ -14,13 +14,45 @@
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Discrepancy property + job-placement sensitivity",
-      "#   --samples N  subset pairs sampled per topology (default 150)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)");
-  const std::uint32_t samples =
-      static_cast<std::uint32_t>(flags.get("--samples", flags.full() ? 600 : 150));
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Discrepancy property + job-placement sensitivity",
+       "#   --samples N  subset pairs sampled per topology (default 150)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)",
+       {{"--samples", true,
+         "subset pairs sampled per topology (default 150; --full = 600)"}}});
+  const std::uint32_t samples = static_cast<std::uint32_t>(
+      opts.flags().get("--samples", opts.full() ? 600 : 150));
+
+  // Part (b) declared up front so --dry-run can plan it without running
+  // part (a)'s sampling loop.  Topology-major, placement-minor: each
+  // topology's cached tables are shared by both placement runs.  NOTE:
+  // the seed version left the traffic/placement seed at SyntheticLoad's
+  // default (1) while seeding the simulator with 42; the engine derives
+  // both from one scenario seed (42), so absolute latencies differ
+  // slightly from pre-port output — the clustered/random ratio comparison
+  // is seed-arbitrary.
+  auto topos = bench::simulation_topologies(false);
+  topos.resize(2);  // SpectralFly, DragonFly
+
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "discrepancy");
+  engine::CampaignBuilder grid;
+  grid.topologies(bench::topo_specs(topos))
+      .placements({sim::PlacementPolicy::kRandom, sim::PlacementPolicy::kClustered})
+      .each([seed = opts.seed_or(42)](engine::Scenario& s) {
+        s.algo = routing::Algo::kMinimal;
+        s.workload.pattern = sim::Pattern::kRandom;
+        s.workload.offered_load = 0.5;
+        s.workload.nranks = 512;
+        s.workload.messages_per_rank = 16;
+        s.seed = seed;
+      });
+  auto& placement_phase = camp.sims("placement sensitivity", std::move(grid));
+  if (opts.dry_run()) {
+    camp.print_plan();
+    return 0;
+  }
 
   // --- empirical discrepancy ------------------------------------------
   {
@@ -49,39 +81,14 @@ int main(int argc, char** argv) {
                 "# is a fraction of DragonFly's at the same radix.\n\n");
   }
 
-  // --- job-placement sensitivity (engine-backed) -----------------------
+  // --- job-placement sensitivity (campaign-backed) ---------------------
   {
-    auto topos = bench::simulation_topologies(false);
-    topos.resize(2);  // SpectralFly, DragonFly
-
-    engine::EngineConfig cfg;
-    cfg.threads = flags.threads();
-    engine::Engine eng(cfg);
-    bench::register_topologies(eng, topos);
-
-    // Topology-major, placement-minor: each topology's cached tables are
-    // shared by both placement runs.  NOTE: the seed version left the
-    // traffic/placement seed at SyntheticLoad's default (1) while seeding
-    // the simulator with 42; the engine derives both from one scenario
-    // seed (42), so absolute latencies differ slightly from pre-port
-    // output — the clustered/random ratio comparison is seed-arbitrary.
-    std::vector<engine::SimScenario> batch;
-    for (const auto& tp : topos) {
-      for (auto policy :
-           {sim::PlacementPolicy::kRandom, sim::PlacementPolicy::kClustered}) {
-        auto s = bench::sim_point(tp.name, routing::Algo::kMinimal,
-                                  sim::Pattern::kRandom, 0.5, 512, 16, 42);
-        s.placement = policy;
-        batch.push_back(std::move(s));
-      }
-    }
-    auto results = eng.run_sims(batch);
-
+    camp.run(opts.sinks());
     Table t({"Topology", "Random placement (us)", "Clustered placement (us)",
              "Clustered/Random"});
     for (std::size_t i = 0; i < topos.size(); ++i) {
-      const auto& random = results[2 * i];
-      const auto& clustered = results[2 * i + 1];
+      const auto& random = placement_phase.sim_at({i, 0});
+      const auto& clustered = placement_phase.sim_at({i, 1});
       if (!random.ok || !clustered.ok) {
         t.add_row({topos[i].name, "ERR", "ERR", "ERR"});
         continue;
@@ -95,5 +102,6 @@ int main(int argc, char** argv) {
     std::printf("# The discrepancy property predicts SpectralFly's ratio stays\n"
                 "# closer to 1.0: any induced sub-network keeps high bisection.\n");
   }
+  bench::print_profile(camp, opts);
   return 0;
 }

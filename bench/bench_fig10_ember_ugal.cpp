@@ -1,16 +1,16 @@
 // Fig. 10 — the Ember motifs of Fig. 9 run under UGAL routing, reported
-// as speedup relative to DragonFly-UGAL.  Engine-backed via run_ember
-// (one 16-scenario batch, --threads N, shared per-topology tables).
+// as speedup relative to DragonFly-UGAL.  Campaign-backed via run_ember
+// (a declared motif x topology grid, --threads N, shared per-topology
+// tables).
 
 #include "ember_common.hpp"
 
 int main(int argc, char** argv) {
   std::printf("== Fig. 10: Ember motifs, UGAL routing, speedup vs DragonFly ==\n");
-  int rc = sfly::bench::run_ember(argc, argv, sfly::routing::Algo::kUgalL,
-                                  "Fig. 10: Ember motifs under UGAL routing");
-  std::printf(
+  return sfly::bench::run_ember(
+      argc, argv, sfly::routing::Algo::kUgalL,
+      "Fig. 10: Ember motifs under UGAL routing",
       "\n# Paper shape: SpectralFly still ahead on Halo3D-26 and Sweep3D;\n"
       "# DragonFly-UGAL wins both FFT motifs, with SpectralFly second\n"
-      "# (~90%% of DragonFly's efficiency on balanced FFT).\n");
-  return rc;
+      "# (~90% of DragonFly's efficiency on balanced FFT).\n");
 }

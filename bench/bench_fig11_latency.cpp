@@ -3,9 +3,9 @@
 // of switch latency (0-250 ns), with 5 ns/m cable delay on the heuristic
 // machine-room embedding.
 //
-// Engine-backed: the QAP layout heuristic dominates this bench, and every
-// subject's layout is independent — one kLayout scenario per subject
-// across all size pairs, fanned over --threads.  The cheap parts (SkyWalk
+// Campaign-backed: the QAP layout heuristic dominates this bench, and
+// every subject's layout is independent — a pair-major topology axis of
+// kLayout scenarios fanned over --threads.  The cheap parts (SkyWalk
 // instantiations, Dijkstra latency sweeps over the returned placements)
 // stay bench-side.
 
@@ -17,15 +17,19 @@
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 11: avg/max end-to-end latency relative to SkyWalk vs switch latency",
-      "#   --pairs N     topology pairs (default 2, --full = 4)\n"
-      "#   --skywalks N  SkyWalk instantiations averaged (default 3, paper 20)\n"
-      "#   --threads N   engine worker threads (default: all hardware threads)");
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 11: avg/max end-to-end latency relative to SkyWalk vs switch latency",
+       "#   --pairs N     topology pairs (default 2, --full = 4)\n"
+       "#   --skywalks N  SkyWalk instantiations averaged (default 3, paper 20)\n"
+       "#   --threads N   engine worker threads (default: all hardware threads)",
+       {{"--pairs", true, "topology pairs (default 2, --full = 4)"},
+        {"--skywalks", true,
+         "SkyWalk instantiations averaged (default 3, paper 20)"}}});
   const std::size_t npairs =
-      flags.full() ? 4 : std::min<std::size_t>(flags.get("--pairs", 2), 4);
-  const int skywalks = static_cast<int>(flags.get("--skywalks", flags.full() ? 20 : 3));
+      opts.full() ? 4 : std::min<std::size_t>(opts.flags().get("--pairs", 2), 4);
+  const int skywalks = static_cast<int>(
+      opts.flags().get("--skywalks", opts.full() ? 20 : 3));
 
   struct Subject {
     std::string name;
@@ -35,29 +39,29 @@ int main(int argc, char** argv) {
       {{11, 7}, {9}}, {{19, 7}, {13}}, {{23, 11}, {17}}, {{29, 13}, {23}}};
   const double switch_lat[] = {0, 50, 100, 150, 200, 250};
 
-  // All subjects' layouts as one engine batch (pair-major, LPS then SF).
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
+  // All subjects' layouts as one declared phase (pair-major, LPS then SF).
   std::vector<std::vector<Subject>> subjects(npairs);
-  std::vector<engine::Scenario> batch;
+  std::vector<engine::TopologySpec> specs;
   for (std::size_t i = 0; i < npairs; ++i) {
     subjects[i].push_back({pairs[i].first.name(), topo::lps_graph(pairs[i].first)});
     subjects[i].push_back(
         {pairs[i].second.name(), topo::slimfly_graph(pairs[i].second)});
-    for (const auto& s : subjects[i]) {
-      eng.register_topology(s.name, [g = s.graph] { return g; });
-      engine::Scenario sc;
-      sc.topology = s.name;
-      sc.kind = engine::Kind::kLayout;
-      sc.layout_em_rounds = 3;
-      sc.layout_swap_passes = 3;
-      sc.bisection_restarts = 0;  // Fig. 11 needs wires only, not the cut
-      sc.seed = 23;
-      batch.push_back(std::move(sc));
-    }
+    for (const auto& s : subjects[i])
+      specs.push_back({s.name, [g = s.graph] { return g; }});
   }
-  auto layouts = eng.run(batch);
+
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "fig11_latency");
+  engine::CampaignBuilder grid;
+  grid.proto().kind = engine::Kind::kLayout;
+  grid.proto().layout_em_rounds = 3;
+  grid.proto().layout_swap_passes = 3;
+  grid.proto().bisection_restarts = 0;  // Fig. 11 needs wires only, not the cut
+  grid.proto().seed = opts.seed_or(23);
+  grid.topologies(std::move(specs));
+  auto& phase = camp.analytic("layouts", std::move(grid));
+  if (!bench::run_campaign(camp, opts)) return 0;
+  const auto& layouts = phase.results();
 
   for (std::size_t i = 0; i < npairs; ++i) {
     // Shared-size SkyWalk reference, averaged over instantiations.
@@ -102,5 +106,6 @@ int main(int argc, char** argv) {
   std::printf("# Paper shape: ratios below ~1.0 for most switch latencies\n"
               "# (both low-diameter topologies beat SkyWalk once switch delay\n"
               "# matters), with SpectralFly ~5-10%% above SlimFly.\n");
+  bench::print_profile(camp, opts);
   return 0;
 }

@@ -3,38 +3,40 @@
 // the METIS-substitute upper bound (multilevel min-cut) and the spectral
 // (Fiedler) lower bound; the exact value lies between them.
 //
-// Engine-backed: per topology one kStructure scenario (cut only, the
-// O(n*m) all-pairs distances are skipped) and one kSpectral scenario,
-// submitted as a single batch over --threads with the graph built once
-// for both kinds.
+// Campaign-backed: a class-major topology axis crossed with a
+// (structure, spectral) kind axis — cut only, the O(n*m) all-pairs
+// distances are skipped — submitted as a single batch over --threads
+// with the graph built once for both kinds.
 
 #include "bench_common.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 4 lower-right: raw bisection bandwidth (upper bound = multilevel "
-      "cut, lower bound = Fiedler)",
-      "#   --classes N  size classes to run (default 3, --full = 5)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)");
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 4 lower-right: raw bisection bandwidth (upper bound = multilevel "
+       "cut, lower bound = Fiedler)",
+       "#   --classes N  size classes to run (default 3, --full = 5)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)",
+       {{"--classes", true, "size classes to run (default 3, --full = 5)"}}});
   const std::size_t nclasses =
-      flags.full() ? 5 : static_cast<std::size_t>(flags.get("--classes", 3));
+      opts.full() ? 5 : static_cast<std::size_t>(opts.flags().get("--classes", 3));
 
   const std::size_t run_classes =
       std::min(nclasses, topo::table1_classes().size());
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-
-  auto batch = bench::class_scenario_pairs(eng, run_classes, [](engine::Scenario& st) {
-    st.want_distances = false;  // this figure needs the cut only
-    st.bisection_restarts = 3;
-    st.seed = 11;
-  });
-  auto results = eng.run(batch);
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "fig4_bisection");
+  auto& phase = camp.analytic(
+      "classes", bench::class_grid(run_classes,
+                                   [seed = opts.seed_or(11)](engine::Scenario& st) {
+                                     st.want_distances = false;  // cut only
+                                     st.bisection_restarts = 3;
+                                     st.seed = seed;
+                                   }));
+  if (!bench::run_campaign(camp, opts)) return 0;
+  const auto& results = phase.results();
 
   Table t({"Topology", "Routers", "Radix", "Cut (links)", "Fiedler LB",
            "Normalized"});
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n# Paper shape: LPS normalized BW stays ~0.33+ and exceeds SlimFly's\n"
       "# asymptotic 1/3 (gap widens with size, up to ~39%%); DragonFly decays.\n");
+  bench::print_profile(camp, opts);
   return 0;
 }

@@ -2,29 +2,68 @@
 // feasible (vertices, radix) points of LPS for p,q < 300, the normalized
 // bisection bandwidth of LPS instances, and feasible sizes per radix for
 // all four topology families.
+//
+// The upper-right sweep is campaign-backed: the LPS instances form a
+// topology axis selected by a metadata filter (size and radix bounds,
+// no graph is built to decide) with the reduced preset's instance cap.
 
 #include "bench_common.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
 
-#include "engine/engine.hpp"
 #include "util/parallel.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 4: LPS design space + normalized bisection bandwidth",
-      "#   --max-n N    largest instance actually bisected (default 4000)\n"
-      "#   --max-pq N   LPS parameter bound for the feasibility scan (default 300)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)\n"
-      "#   --csv        also dump the engine results as CSV");
-  const std::uint64_t max_pq = flags.get("--max-pq", 300);
-  const std::uint64_t max_n = flags.full() ? 20000 : flags.get("--max-n", 4000);
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 4: LPS design space + normalized bisection bandwidth",
+       "#   --max-n N    largest instance actually bisected (default 4000)\n"
+       "#   --max-pq N   LPS parameter bound for the feasibility scan (default 300)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)\n"
+       "#   --csv        also dump the engine results as CSV",
+       {{"--max-n", true, "largest instance actually bisected (default 4000)"},
+        {"--max-pq", true,
+         "LPS parameter bound for the feasibility scan (default 300)"}}});
+  const std::uint64_t max_pq = opts.flags().get("--max-pq", 300);
+  const std::uint64_t max_n =
+      opts.full() ? 20000 : opts.flags().get("--max-n", 4000);
+
+  // The bisections dominate this bench's wall clock, and every instance is
+  // independent: one kStructure scenario per LPS instance, declared as a
+  // filtered topology axis and fanned across the task pool.
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "fig4_design_space");
+  {
+    auto inst = topo::lps_instances(100, 100);
+    std::sort(inst.begin(), inst.end(), [](const auto& a, const auto& b) {
+      return a.num_vertices() < b.num_vertices();
+    });
+    std::vector<engine::TopologySpec> specs;
+    for (const auto& params : inst)
+      specs.push_back({params.name(),
+                       [params] { return topo::lps_graph(params); },
+                       /*concentration=*/8, params.num_vertices(),
+                       params.radix()});
+    engine::CampaignBuilder grid;
+    grid.proto().kind = engine::Kind::kStructure;
+    grid.proto().bisection_restarts = 3;
+    grid.proto().seed = opts.seed_or(7);
+    grid.topologies(
+        std::move(specs),
+        [max_n](const engine::TopologySpec& t) {
+          return t.vertices <= max_n && t.radix >= 4;
+        },
+        /*limit=*/opts.full() ? 0 : 14);
+    camp.analytic("bisection", std::move(grid));
+  }
+  if (opts.dry_run()) {
+    camp.print_plan();
+    return 0;
+  }
 
   // --- upper-left: feasible LPS sizes, summarized per radix -------------
   {
@@ -38,7 +77,7 @@ int main(int argc, char** argv) {
       std::sort(sizes.begin(), sizes.end());
       t.add_row({std::to_string(radix), std::to_string(sizes.size()),
                  std::to_string(sizes.front()), std::to_string(sizes.back())});
-      if (++shown >= 24 && !flags.full()) break;
+      if (++shown >= 24 && !opts.full()) break;
     }
     std::printf("== Fig. 4 upper-left: LPS feasible (radix, size) points ==\n");
     t.print();
@@ -72,48 +111,20 @@ int main(int argc, char** argv) {
   }
 
   // --- upper-right: normalized bisection bandwidth of LPS ---------------
-  // The bisections dominate this bench's wall clock, and every instance is
-  // independent: one engine kStructure scenario per LPS instance, fanned
-  // across the task pool.
   {
-    auto inst = topo::lps_instances(100, 100);
-    std::sort(inst.begin(), inst.end(), [](const auto& a, const auto& b) {
-      return a.num_vertices() < b.num_vertices();
-    });
-
-    engine::EngineConfig cfg;
-    cfg.threads = flags.threads();
-    engine::Engine eng(cfg);
-    std::vector<engine::Scenario> batch;
-    std::vector<topo::LpsParams> chosen;
-    for (const auto& params : inst) {
-      if (params.num_vertices() > max_n) continue;
-      if (params.radix() < 4) continue;
-      if (chosen.size() >= 14 && !flags.full()) break;
-      eng.register_topology(params.name(),
-                            [params] { return topo::lps_graph(params); });
-      engine::Scenario s;
-      s.topology = params.name();
-      s.kind = engine::Kind::kStructure;
-      s.bisection_restarts = 3;
-      s.seed = 7;
-      batch.push_back(std::move(s));
-      chosen.push_back(params);
-    }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    auto results = eng.run(batch);
-    const double wall_s = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
+    if (opts.profile()) camp.materialize_artifacts();
+    camp.run(opts.sinks());
+    auto& phase = camp.phase("bisection");
+    const auto& chosen = phase.grid().topology_specs();
+    const auto& results = phase.results();
 
     Table t({"Instance", "n", "Radix", "Norm. bisection BW", "Ramanujan floor"});
     for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& params = chosen[i];
-      double k = params.radix();
+      const auto& spec = chosen[i];
+      double k = spec.radix;
       double floor = (k - 2.0 * std::sqrt(k - 1.0)) / (2.0 * k);
-      t.add_row({params.name(), std::to_string(params.num_vertices()),
-                 std::to_string(params.radix()),
+      t.add_row({spec.name, std::to_string(spec.vertices),
+                 std::to_string(spec.radix),
                  results[i].ok ? Table::num(results[i].normalized_bisection, 3)
                                : "ERR",
                  Table::num(floor, 3)});
@@ -123,10 +134,10 @@ int main(int argc, char** argv) {
     std::printf("# Shape check: values rise with radix (crossing 1/3 around\n"
                 "# radix ~18) and do NOT decay with size at fixed radix.\n");
     std::printf("# engine: %zu scenarios in %.2fs on %u thread(s)\n",
-                results.size(), wall_s,
-                flags.threads() ? flags.threads()
-                                : static_cast<unsigned>(hardware_threads()));
-    if (flags.has("--csv")) engine::Engine::write_csv(stdout, results);
+                results.size(), phase.eval_seconds(),
+                opts.threads() ? opts.threads()
+                               : static_cast<unsigned>(hardware_threads()));
   }
+  bench::print_profile(camp, opts);
   return 0;
 }

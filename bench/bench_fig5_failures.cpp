@@ -3,25 +3,20 @@
 // edges, for comparable ~600-router (and, with --full, ~5-7K-router)
 // instances of the four families.
 //
-// Engine-backed with wave-based adaptive scheduling: trials are submitted
-// in waves of growing size (10, then up to 100, up to 1000, ...), every
-// (point, trial) of a wave fanned concurrently across the task pool, and
-// the paper's batch/CoV stopping rule (footnote 1) applied between waves:
-// a point stops contributing trials as soon as some prefix of 10-trial
-// batches has batch-mean CoV < 10%, so converged points recover the seed
-// version's early-stop economy while unconverged points keep the engine's
-// parallelism (crucial at --full scale, 100+ trials/point).  Trial seeds
-// depend only on the trial number, never on the wave split, so the output
-// is bitwise-identical at any --threads and to the precompute-everything
+// Campaign-backed via engine::AdaptiveSweep: the bench declares the
+// (topology x failure-fraction) point grid; the engine schedules trials
+// in waves of growing size (10, then up to 100, up to 1000, ...), fans
+// every wave across the task pool, and applies the paper's batch/CoV
+// stopping rule (footnote 1) between waves — a point stops contributing
+// trials as soon as some prefix of 10-trial batches has batch-mean CoV
+// < 10%, so converged points recover the seed version's early-stop
+// economy while unconverged points keep the engine's parallelism
+// (crucial at --full scale, 100+ trials/point).  Trial seeds depend only
+// on the trial number, never on the wave split, so the output is
+// bitwise-identical at any --threads and to the precompute-everything
 // schedule.
 
 #include "bench_common.hpp"
-
-#include <algorithm>
-#include <cmath>
-
-#include "engine/engine.hpp"
-#include "util/rng.hpp"
 
 using namespace sfly;
 
@@ -32,116 +27,39 @@ struct Subject {
   std::function<Graph()> build;
 };
 
-// Prefix selected by the CoV rule over per-trial metric values (NaN-free):
-// batches of size ceil(len/10); converged when the CoV of the 10 batch
-// means drops below `cov_target`.  `converged` distinguishes the rule
-// firing (stop scheduling trials for this point) from running out of
-// values (the fall-through keeps everything) — the wave scheduler needs
-// that distinction even when both return use == vals.size().
-struct CovPrefix {
-  std::size_t use = 0;
-  bool converged = false;
-};
+void sweep(engine::Engine& eng, bench::StandardOptions& opts,
+           const std::vector<Subject>& subjects,
+           const std::vector<double>& fractions, std::uint64_t max_trials) {
+  std::vector<engine::TopologySpec> specs;
+  for (const auto& s : subjects) specs.push_back({s.name, s.build});
 
-CovPrefix cov_prefix(const std::vector<double>& vals, double cov_target) {
-  for (std::size_t x = 1; 10 * x <= vals.size(); x *= 10) {
-    const std::size_t use = 10 * x;
-    double means[10];
-    for (std::size_t b = 0; b < 10; ++b) {
-      double s = 0;
-      for (std::size_t i = 0; i < x; ++i) s += vals[b * x + i];
-      means[b] = s / static_cast<double>(x);
-    }
-    double m = 0;
-    for (double v : means) m += v;
-    m /= 10.0;
-    double var = 0;
-    for (double v : means) var += (v - m) * (v - m);
-    double cov = m != 0.0 ? std::sqrt(var / 10.0) / std::fabs(m) : 0.0;
-    if (cov < cov_target) return {use, true};
-  }
-  return {vals.size(), false};
-}
+  engine::CampaignBuilder points;
+  points.proto().kind = engine::Kind::kStructure;
+  points.proto().bisection_restarts = 2;
+  points.topologies(std::move(specs)).failure_fractions(fractions);
 
-// One sweep point's accumulated trial state across waves.
-struct Point {
-  std::string topology;
-  double fraction = 0.0;
-  std::size_t scheduled = 0;   // trials submitted so far
-  bool converged = false;      // CoV rule satisfied (or point exhausted)
-  std::vector<engine::Result> kept;  // ok && connected trials, trial order
-  std::vector<double> hop_vals;      // convergence tracked on mean distance
-};
-
-engine::Scenario trial_scenario(const Point& p, std::uint64_t trial) {
   // Trial seeds are derived from the same (9177, trial) base as the
   // pre-engine bench, but the engine re-splits per component (failure
   // sampling, bisection), so per-trial numbers differ from the old
   // output; only the statistics are comparable.
-  engine::Scenario sc;
-  sc.topology = p.topology;
-  sc.kind = engine::Kind::kStructure;
-  sc.failure_fraction = p.fraction;
-  sc.bisection_restarts = 2;
-  sc.seed = split_seed(9177, trial);
-  return sc;
-}
-
-void sweep(engine::Engine& eng, const std::vector<Subject>& subjects,
-           const std::vector<double>& fractions, std::uint64_t max_trials) {
-  for (const auto& s : subjects) eng.register_topology(s.name, s.build);
-
-  std::vector<Point> points;
-  for (const auto& s : subjects)
-    for (double f : fractions) points.push_back({s.name, f});
-
-  // Waves: every unconverged point contributes its next block of trials
-  // (up to the next CoV checkpoint — 10, 100, 1000, ... — capped at
-  // --trials), the whole wave runs as one parallel batch, and the CoV
-  // rule retires points between waves.  Pristine points (fraction 0) are
-  // deterministic and always retire after their single trial.
-  while (true) {
-    std::vector<engine::Scenario> batch;
-    std::vector<std::pair<std::size_t, std::size_t>> slots;  // (point, trial)
-    for (std::size_t pi = 0; pi < points.size(); ++pi) {
-      Point& p = points[pi];
-      if (p.converged) continue;
-      const std::size_t cap = p.fraction == 0.0 ? 1 : max_trials;
-      std::size_t target = p.fraction == 0.0 ? 1 : 10;
-      while (target <= p.scheduled) target *= 10;
-      target = std::min(target, cap);
-      for (std::size_t t = p.scheduled; t < target; ++t) {
-        batch.push_back(trial_scenario(p, t));
-        slots.emplace_back(pi, t);
-      }
-      p.scheduled = target;
-    }
-    if (batch.empty()) break;
-
-    auto results = eng.run(batch);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      Point& p = points[slots[i].first];
-      const auto& r = results[i];
-      if (r.ok && r.connected) {
-        p.kept.push_back(r);
-        p.hop_vals.push_back(r.mean_hops);
-      }
-    }
-    for (Point& p : points) {
-      if (p.converged) continue;
-      const std::size_t cap = p.fraction == 0.0 ? 1 : max_trials;
-      if (cov_prefix(p.hop_vals, 0.10).converged) p.converged = true;
-      if (p.scheduled >= cap) p.converged = true;  // exhausted the budget
-    }
+  engine::AdaptiveSweep::Config cfg;
+  cfg.max_trials = max_trials;
+  cfg.seed_base = opts.seed_or(9177);
+  engine::AdaptiveSweep sweep(eng, std::move(points), cfg);
+  if (opts.dry_run()) {
+    sweep.print_plan();
+    return;
   }
+  sweep.run(opts.sinks());
 
   Table t({"Topology", "Fail frac", "Diameter", "Mean hops", "Bisection BW",
            "Trials"});
   std::size_t at = 0;
   for (const auto& s : subjects) {
     for (double f : fractions) {
-      const Point& p = points[at++];
-      const std::size_t use = cov_prefix(p.hop_vals, 0.10).use;
+      const auto& p = sweep.points()[at];
+      const std::size_t use = sweep.converged_prefix(at);
+      ++at;
       if (use == 0) {
         t.add_row({s.name, Table::num(f, 2), "disconnected", "-", "-",
                    std::to_string(p.scheduled)});
@@ -167,18 +85,17 @@ void sweep(engine::Engine& eng, const std::vector<Subject>& subjects,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 5: diameter / mean hops / bisection under random edge failures",
-      "#   --trials N   trials per point (default 10)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)\n"
-      "#   --full       also run the ~5-7K-router class with more trials");
-  const std::uint64_t max_trials =
-      std::max<std::uint64_t>(1, flags.get("--trials", flags.full() ? 100 : 10));
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 5: diameter / mean hops / bisection under random edge failures",
+       "#   --trials N   trials per point (default 10)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)\n"
+       "#   --full       also run the ~5-7K-router class with more trials",
+       {{"--trials", true, "trials per point (default 10; --full = 100)"}}});
+  const std::uint64_t max_trials = std::max<std::uint64_t>(
+      1, opts.flags().get("--trials", opts.full() ? 100 : 10));
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
+  engine::Engine eng(opts.engine_config());
 
   std::printf("== ~600-router class ==\n");
   std::vector<Subject> small;
@@ -192,13 +109,14 @@ int main(int argc, char** argv) {
                      return topo::dragonfly_graph(
                          topo::DragonFlyParams::canonical(24));
                    }});
-  sweep(eng, small, {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}, max_trials);
-  std::printf(
-      "\n# Paper shape: SlimFly's diameter-2 is fragile (jumps to 4 at 10%%\n"
-      "# failures, briefly worse than LPS); SlimFly keeps the lowest mean\n"
-      "# hops, LPS keeps the highest bisection; BF/DF degrade faster.\n");
+  sweep(eng, opts, small, {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}, max_trials);
+  if (!opts.dry_run())
+    std::printf(
+        "\n# Paper shape: SlimFly's diameter-2 is fragile (jumps to 4 at 10%%\n"
+        "# failures, briefly worse than LPS); SlimFly keeps the lowest mean\n"
+        "# hops, LPS keeps the highest bisection; BF/DF degrade faster.\n");
 
-  if (flags.full()) {
+  if (opts.full()) {
     std::printf("\n== ~5-7K-router class ==\n");
     std::vector<Subject> large;
     large.push_back({"LPS(71,17)", [] { return topo::lps_graph({71, 17}); }});
@@ -211,7 +129,7 @@ int main(int argc, char** argv) {
                        return topo::dragonfly_graph(
                            topo::DragonFlyParams::canonical(69));
                      }});
-    sweep(eng, large, {0.0, 0.2, 0.4, 0.6, 0.8}, max_trials);
+    sweep(eng, opts, large, {0.0, 0.2, 0.4, 0.6, 0.8}, max_trials);
   }
   return 0;
 }

@@ -2,64 +2,69 @@
 // loads under UGAL-L routing, reported as speedup of each topology's
 // maximum message time relative to DragonFly-UGAL at the same load.
 //
-// Engine-backed: the whole (pattern x load x topology) grid is one batch
-// over the shared artifact cache — each topology's all-pairs tables are
-// built once for all 24 points per pattern instead of once per point.
+// Campaign-backed: the bench declares the (pattern x load x topology)
+// grid; the engine expands it, shares each topology's artifacts across
+// all 24 points per pattern, and streams results through the standard
+// sinks (--csv/--json/--progress) plus the fig6 perf-record sink.
 
 #include "bench_common.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 6: UGAL-L speedup vs DragonFly across patterns and loads",
-      "#   --ranks N         MPI ranks (default 1024; --full = 8192)\n"
-      "#   --msgs N          messages per rank (default 24)\n"
-      "#   --threads N       engine worker threads (default: all hardware threads)\n"
-      "#   --profile         print phase timing (artifact build vs scenario eval)\n"
-      "#   --bench-json P    write a machine-readable perf record to P");
-  const std::uint32_t nranks =
-      static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 6: UGAL-L speedup vs DragonFly across patterns and loads",
+       "#   --ranks N         MPI ranks (default 1024; --full = 8192)\n"
+       "#   --msgs N          messages per rank (default 24)\n"
+       "#   --threads N       engine worker threads (default: all hardware threads)\n"
+       "#   --profile         print phase timing (artifact build vs scenario eval)\n"
+       "#   --bench-json P    write a machine-readable perf record to P",
+       {{"--ranks", true, "MPI ranks (default 1024; --full = 8192)"},
+        {"--msgs", true, "messages per rank (default 24)"},
+        {"--bench-json", true, "write a machine-readable perf record to PATH"}}});
+  const std::uint32_t nranks = static_cast<std::uint32_t>(
+      opts.flags().get("--ranks", opts.full() ? 8192 : 1024));
   const std::uint32_t msgs =
-      static_cast<std::uint32_t>(flags.get("--msgs", 24));
-  const bool profile = flags.has("--profile");
-  const std::string bench_json = flags.get_str("--bench-json");
+      static_cast<std::uint32_t>(opts.flags().get("--msgs", 24));
+  const std::string bench_json = opts.flags().get_str("--bench-json");
 
-  auto topos = bench::simulation_topologies(flags.full());
+  auto topos = bench::simulation_topologies(opts.full());
   const std::vector<sim::Pattern> patterns = {
       sim::Pattern::kRandom, sim::Pattern::kShuffle, sim::Pattern::kBitReverse,
       sim::Pattern::kTranspose};
+  const auto loads = bench::load_points();
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-  bench::register_topologies(eng, topos);
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "fig6_ugal");
+  engine::CampaignBuilder grid;
+  grid.patterns(patterns).loads(loads).topologies(bench::topo_specs(topos))
+      .each([&, seed = opts.seed_or(42)](engine::Scenario& s) {
+        s.algo = routing::Algo::kUgalL;
+        s.workload.nranks = nranks;
+        s.workload.messages_per_rank = msgs;
+        s.seed = seed;
+      });
+  auto& sweep = camp.sims("sweep", std::move(grid));
 
-  // Materializing artifacts up front (instead of lazily inside the first
-  // scenarios) separates the one-off per-topology build cost from the
-  // per-scenario evaluation the perf record tracks.
-  const double build_s = bench::materialize_artifacts(eng, topos);
-
-  bench::LoadSweep sweep(eng, topos, routing::Algo::kUgalL, patterns,
-                         {std::begin(bench::kLoads), std::end(bench::kLoads)},
-                         nranks, msgs, 42);
+  engine::PerfRecordSink perf;
+  std::vector<engine::ResultSink*> extra;
+  if (!bench_json.empty()) extra.push_back(&perf);
+  if (!bench::run_campaign(camp, opts, extra,
+                           /*materialize=*/!bench_json.empty()))
+    return 0;
 
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     std::printf("== Fig. 6 (%s), UGAL-L, speedup vs DragonFly ==\n",
                 sim::pattern_name(patterns[p]));
-    bench::speedup_table(sweep, p, topos).print();
+    bench::speedup_table(sweep, p, loads, topos).print();
     std::printf("\n");
   }
   std::printf("# Paper shape: SpectralFly best on all four patterns (superior\n"
               "# bisection + path diversity); saturation at/beyond 0.7 load.\n");
-  if (profile)
-    std::printf("\n== --profile phase timing ==\n"
-                "artifact build (graphs + tables + next-hop index): %.3f s\n"
-                "scenario evaluation (%zu scenarios):               %.3f s\n",
-                build_s, sweep.results().size(), sweep.eval_seconds());
+  bench::print_profile(camp, opts);
   if (!bench_json.empty())
-    bench::write_bench_json(bench_json, "fig6_ugal", cfg.threads, build_s,
-                            sweep.eval_seconds(), sweep.results());
+    perf.write(bench_json, "fig6_ugal", opts.threads(),
+               camp.artifact_build_seconds(), camp.eval_seconds());
   return 0;
 }

@@ -2,62 +2,59 @@
 // time (max message time) normalized to minimal routing, per pattern and
 // offered load.  Values > 1 mean Valiant is faster.
 //
-// Engine-backed: all (load x pattern x {minimal, Valiant}) points run on
-// ONE topology, so the artifact cache builds SpectralFly's all-pairs
-// tables once for the 48-scenario batch (the seed version rebuilt them
-// for every single point).
+// Campaign-backed: one declared (load x pattern x algo) grid over ONE
+// topology, so the artifact cache builds SpectralFly's all-pairs tables
+// once for the 48-scenario batch (the seed version rebuilt them for
+// every single point).
 
 #include "bench_common.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Fig. 8: Valiant routing on SpectralFly, speedup vs SpectralFly-minimal",
-      "#   --ranks N    MPI ranks (default 1024; --full = 8192)\n"
-      "#   --msgs N     messages per rank (default 24)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)\n"
-      "#   --profile    print phase timing (artifact build vs scenario eval)");
-  const std::uint32_t nranks =
-      static_cast<std::uint32_t>(flags.get("--ranks", flags.full() ? 8192 : 1024));
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Fig. 8: Valiant routing on SpectralFly, speedup vs SpectralFly-minimal",
+       "#   --ranks N    MPI ranks (default 1024; --full = 8192)\n"
+       "#   --msgs N     messages per rank (default 24)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)\n"
+       "#   --profile    print phase timing (artifact build vs scenario eval)",
+       {{"--ranks", true, "MPI ranks (default 1024; --full = 8192)"},
+        {"--msgs", true, "messages per rank (default 24)"}}});
+  const std::uint32_t nranks = static_cast<std::uint32_t>(
+      opts.flags().get("--ranks", opts.full() ? 8192 : 1024));
   const std::uint32_t msgs =
-      static_cast<std::uint32_t>(flags.get("--msgs", 24));
-  const bool profile = flags.has("--profile");
+      static_cast<std::uint32_t>(opts.flags().get("--msgs", 24));
 
-  auto topos = bench::simulation_topologies(flags.full());
+  auto topos = bench::simulation_topologies(opts.full());
   const auto& sf = topos[0];  // SpectralFly
-  const sim::Pattern patterns[] = {sim::Pattern::kRandom, sim::Pattern::kShuffle,
-                                   sim::Pattern::kBitReverse,
-                                   sim::Pattern::kTranspose};
+  const std::vector<sim::Pattern> patterns = {
+      sim::Pattern::kRandom, sim::Pattern::kShuffle, sim::Pattern::kBitReverse,
+      sim::Pattern::kTranspose};
+  const auto loads = bench::load_points();
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-  bench::register_topologies(eng, topos);
-
-  const double build_s = bench::materialize_artifacts_named(eng, {sf.name});
-
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "fig8_valiant");
   // Load-major, pattern-minor, minimal before Valiant.
-  std::vector<engine::SimScenario> batch;
-  for (double load : bench::kLoads)
-    for (auto pattern : patterns)
-      for (auto algo : {routing::Algo::kMinimal, routing::Algo::kValiant})
-        batch.push_back(
-            bench::sim_point(sf.name, algo, pattern, load, nranks, msgs, 42));
-  const auto t0 = std::chrono::steady_clock::now();
-  auto results = eng.run_sims(batch);
-  const double eval_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  engine::CampaignBuilder grid;
+  grid.topologies(bench::topo_specs({sf}))
+      .loads(loads)
+      .patterns(patterns)
+      .algos({routing::Algo::kMinimal, routing::Algo::kValiant})
+      .each([&, seed = opts.seed_or(42)](engine::Scenario& s) {
+        s.workload.nranks = nranks;
+        s.workload.messages_per_rank = msgs;
+        s.seed = seed;
+      });
+  auto& sweep = camp.sims("sweep", std::move(grid));
+  if (!bench::run_campaign(camp, opts)) return 0;
 
   Table t({"Offered load", "random", "bit-shuffle", "bit-reverse", "transpose"});
-  std::size_t at = 0;
-  for (double load : bench::kLoads) {
-    std::vector<std::string> row{Table::num(load, 1)};
-    for (std::size_t p = 0; p < std::size(patterns); ++p, at += 2) {
-      const auto& lat_min = results[at];
-      const auto& lat_val = results[at + 1];
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::vector<std::string> row{Table::num(loads[li], 1)};
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const auto& lat_min = sweep.sim_at({0, li, p, 0});
+      const auto& lat_val = sweep.sim_at({0, li, p, 1});
       row.push_back(lat_min.ok && lat_val.ok && lat_val.max_latency_ns > 0
                         ? Table::num(lat_min.max_latency_ns /
                                          lat_val.max_latency_ns, 2)
@@ -71,10 +68,6 @@ int main(int argc, char** argv) {
       "\n# Paper shape: structured patterns (shuffle/reverse/transpose) gain\n"
       "# from Valiant's extra path diversity; the random pattern loses (its\n"
       "# minimal routes already spread, Valiant just doubles path length).\n");
-  if (profile)
-    std::printf("\n== --profile phase timing ==\n"
-                "artifact build (graphs + tables + next-hop index): %.3f s\n"
-                "scenario evaluation (%zu scenarios):               %.3f s\n",
-                build_s, batch.size(), eval_s);
+  bench::print_profile(camp, opts);
   return 0;
 }

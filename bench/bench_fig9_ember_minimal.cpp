@@ -1,17 +1,17 @@
 // Fig. 9 — Ember real-world motifs (Halo3D-26, Sweep3D, FFT balanced /
 // unbalanced) under minimal routing, reported as speedup of motif
-// completion time relative to DragonFly.  Engine-backed via run_ember
-// (one 16-scenario batch, --threads N, shared per-topology tables).
+// completion time relative to DragonFly.  Campaign-backed via run_ember
+// (a declared motif x topology grid, --threads N, shared per-topology
+// tables).
 
 #include "ember_common.hpp"
 
 int main(int argc, char** argv) {
   std::printf("== Fig. 9: Ember motifs, minimal routing, speedup vs DragonFly ==\n");
-  int rc = sfly::bench::run_ember(argc, argv, sfly::routing::Algo::kMinimal,
-                                  "Fig. 9: Ember motifs under minimal routing");
-  std::printf(
+  return sfly::bench::run_ember(
+      argc, argv, sfly::routing::Algo::kMinimal,
+      "Fig. 9: Ember motifs under minimal routing",
       "\n# Paper shape: SpectralFly ~1.2x on Halo3D-26 and ~1.4x on Sweep3D;\n"
       "# DragonFly slightly ahead on balanced FFT (group-aligned all-to-all);\n"
       "# SpectralFly ahead again on unbalanced FFT.\n");
-  return rc;
 }

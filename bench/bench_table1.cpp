@@ -2,38 +2,41 @@
 // routers, radix, diameter, mean distance, girth, and the normalized
 // Laplacian spectral gap mu1 for LPS / SlimFly / BundleFly / DragonFly.
 //
-// Engine-backed: each topology contributes one kStructure scenario
-// (distances + girth, bisection skipped — Table I does not report a cut)
-// and one kSpectral scenario, all submitted as a single batch fanned over
-// --threads; the artifact cache builds each graph once for both kinds.
+// Campaign-backed: a class-major topology axis crossed with a
+// (structure, spectral) kind axis (distances + girth, bisection skipped
+// — Table I does not report a cut), one batch fanned over --threads;
+// the artifact cache builds each graph once for both kinds.
 
 #include "bench_common.hpp"
 
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Table I: structural properties per size class",
-      "#   --classes N  number of size classes to run (default 3, --full = 5)\n"
-      "#   --threads N  engine worker threads (default: all hardware threads)");
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Table I: structural properties per size class",
+       "#   --classes N  number of size classes to run (default 3, --full = 5)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)",
+       {{"--classes", true,
+         "number of size classes to run (default 3, --full = 5)"}}});
   const std::size_t nclasses =
-      flags.full() ? 5 : static_cast<std::size_t>(flags.get("--classes", 3));
+      opts.full() ? 5 : static_cast<std::size_t>(opts.flags().get("--classes", 3));
 
   const std::size_t run_classes =
       std::min(nclasses, topo::table1_classes().size());
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "table1");
   // Per topology: a kStructure scenario (even batch index) immediately
   // followed by its kSpectral partner (odd index).
-  auto batch = bench::class_scenario_pairs(eng, run_classes, [](engine::Scenario& st) {
-    st.bisection_restarts = 0;  // Table I reports no cut
-    st.want_girth = true;
-  });
-  auto results = eng.run(batch);
+  auto& phase =
+      camp.analytic("classes", bench::class_grid(run_classes,
+                                                 [](engine::Scenario& st) {
+                                                   st.bisection_restarts = 0;
+                                                   st.want_girth = true;
+                                                 }));
+  if (!bench::run_campaign(camp, opts)) return 0;
+  const auto& results = phase.results();
 
   Table table({"Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth",
                "mu1", "Ramanujan"});
@@ -56,5 +59,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n# Paper anchors: LPS diam 3,3,3,4,4; girth 3,3,3,4,4; SF diam 2;\n"
       "# LPS mu1 0.50..0.80 rising with radix; DF mu1 decaying to ~0.01.\n");
+  bench::print_profile(camp, opts);
   return 0;
 }

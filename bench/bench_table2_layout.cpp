@@ -2,8 +2,8 @@
 // room embedding for comparable SpectralFly and SlimFly topologies, with
 // SkyWalk wire statistics (mean over instantiations) in parentheses.
 //
-// Engine-backed: each subject is one kLayout scenario (QAP embedding +
-// wiring classification + bisection + power model), all pairs submitted
+// Campaign-backed: a pair-major topology axis of kLayout scenarios (QAP
+// embedding + wiring classification + bisection + power model) submitted
 // as a single batch over --threads.  The cheap SkyWalk comparator loop
 // (no QAP — its generator fixes the placement) stays bench-side.
 
@@ -15,16 +15,19 @@
 using namespace sfly;
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv);
-  bench::Flags::usage(
-      "Table II: wire length & energy efficiency, LPS vs SlimFly (+SkyWalk)",
-      "#   --pairs N      topology pairs to run (default 2, --full = 4)\n"
-      "#   --skywalks N   SkyWalk instantiations averaged (default 5, paper 20)\n"
-      "#   --threads N    engine worker threads (default: all hardware threads)");
+  bench::StandardOptions opts(
+      argc, argv,
+      {"Table II: wire length & energy efficiency, LPS vs SlimFly (+SkyWalk)",
+       "#   --pairs N      topology pairs to run (default 2, --full = 4)\n"
+       "#   --skywalks N   SkyWalk instantiations averaged (default 5, paper 20)\n"
+       "#   --threads N    engine worker threads (default: all hardware threads)",
+       {{"--pairs", true, "topology pairs to run (default 2, --full = 4)"},
+        {"--skywalks", true,
+         "SkyWalk instantiations averaged (default 5, paper 20)"}}});
   const std::size_t npairs =
-      flags.full() ? 4 : std::min<std::size_t>(flags.get("--pairs", 2), 4);
+      opts.full() ? 4 : std::min<std::size_t>(opts.flags().get("--pairs", 2), 4);
   const int skywalks =
-      static_cast<int>(flags.get("--skywalks", flags.full() ? 20 : 5));
+      static_cast<int>(opts.flags().get("--skywalks", opts.full() ? 20 : 5));
 
   struct Pair {
     topo::LpsParams lps;
@@ -38,30 +41,26 @@ int main(int argc, char** argv) {
   // the bisection; the engine derives both from one scenario seed (17), so
   // the Bisection / Power W / mW/Gbps columns shift slightly from pre-port
   // output (e.g. LPS(11,7) cut 296 -> 288) — same restart budget, valid cut.
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-  std::vector<engine::Scenario> batch;
+  std::vector<engine::TopologySpec> specs;
   for (std::size_t i = 0; i < npairs; ++i) {
-    for (int side = 0; side < 2; ++side) {
-      std::string name = side == 0 ? pairs[i].lps.name() : pairs[i].sf.name();
-      auto build = side == 0
-                       ? std::function<Graph()>(
-                             [p = pairs[i].lps] { return topo::lps_graph(p); })
-                       : std::function<Graph()>(
-                             [p = pairs[i].sf] { return topo::slimfly_graph(p); });
-      eng.register_topology(name, std::move(build));
-      engine::Scenario s;
-      s.topology = name;
-      s.kind = engine::Kind::kLayout;
-      s.layout_em_rounds = 4;
-      s.layout_swap_passes = 4;
-      s.bisection_restarts = 3;  // powers the mW/Gbps efficiency column
-      s.seed = 17;
-      batch.push_back(std::move(s));
-    }
+    specs.push_back({pairs[i].lps.name(),
+                     [p = pairs[i].lps] { return topo::lps_graph(p); }});
+    specs.push_back({pairs[i].sf.name(),
+                     [p = pairs[i].sf] { return topo::slimfly_graph(p); }});
   }
-  auto results = eng.run(batch);
+
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "table2_layout");
+  engine::CampaignBuilder grid;
+  grid.proto().kind = engine::Kind::kLayout;
+  grid.proto().layout_em_rounds = 4;
+  grid.proto().layout_swap_passes = 4;
+  grid.proto().bisection_restarts = 3;  // powers the mW/Gbps efficiency column
+  grid.proto().seed = opts.seed_or(17);
+  grid.topologies(std::move(specs));
+  auto& phase = camp.analytic("layouts", std::move(grid));
+  if (!bench::run_campaign(camp, opts)) return 0;
+  const auto& results = phase.results();
 
   Table t({"Topology", "Routers", "Radix", "Avg wire m (SkyWalk)",
            "Max wire m (SkyWalk)", "Elec.", "Opt.", "Bisection",
@@ -105,5 +104,6 @@ int main(int argc, char** argv) {
       "# power-efficient per unit bisection bandwidth than SF(23).\n"
       "# (Absolute watts differ from Table II — the paper's per-link power\n"
       "# accounting is not fully specified; see EXPERIMENTS.md.)\n");
+  bench::print_profile(camp, opts);
   return 0;
 }

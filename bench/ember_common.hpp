@@ -1,10 +1,11 @@
 #pragma once
 // Shared driver for the Ember-motif benches (Fig. 9 minimal / Fig. 10 UGAL).
 //
-// Engine-backed: every (motif x topology) completion-time measurement is
-// an independent SimScenario carrying a motif factory, so one batch fans
-// all 16 simulations across --threads workers while each topology's
-// all-pairs routing tables are built once in the shared artifact cache.
+// Campaign-backed: the bench declares a (motif x topology) grid whose
+// motif axis carries factories (motifs are stateful, so every evaluation
+// builds a fresh instance); the engine expands it into one batch fanned
+// across --threads workers while each topology's all-pairs routing
+// tables are built once in the shared artifact cache.
 
 #include <memory>
 
@@ -30,48 +31,57 @@ inline std::unique_ptr<sim::Motif> make_motif(int which, bool full) {
   }
 }
 
-inline int run_ember(int argc, char** argv, routing::Algo algo, const char* what) {
-  Flags flags(argc, argv);
-  Flags::usage(what,
-               "#   (motif sizes scale with --full: 8192-rank grids)\n"
-               "#   --threads N  engine worker threads (default: all hardware threads)");
-  const bool full = flags.full();
+inline std::vector<engine::MotifSpec> motif_specs(bool full) {
+  std::vector<engine::MotifSpec> out;
+  for (int which = 0; which < 4; ++which)
+    out.push_back({make_motif(which, full)->name(),
+                   [which, full] { return make_motif(which, full); }});
+  return out;
+}
+
+/// Shared Ember driver; `epilogue` (the per-figure paper-shape note) is
+/// printed only after a real run, never under --dry-run.
+inline int run_ember(int argc, char** argv, routing::Algo algo, const char* what,
+                     const char* epilogue) {
+  StandardOptions opts(
+      argc, argv,
+      {what,
+       "#   (motif sizes scale with --full: 8192-rank grids)\n"
+       "#   --threads N  engine worker threads (default: all hardware threads)",
+       {}});
+  const bool full = opts.full();
   auto topos = simulation_topologies(full);
 
-  engine::EngineConfig cfg;
-  cfg.threads = flags.threads();
-  engine::Engine eng(cfg);
-  register_topologies(eng, topos);
-
+  engine::Engine eng(opts.engine_config());
+  engine::Campaign camp(eng, "ember_motifs");
   // Motif-major, topology-minor: 4 motifs x |topos| scenarios in one batch.
-  std::vector<engine::SimScenario> batch;
-  for (int which = 0; which < 4; ++which) {
-    for (const auto& t : topos) {
-      engine::SimScenario s;
-      s.topology = t.name;
-      s.algo = algo;
-      s.motif = [which, full] { return make_motif(which, full); };
-      s.seed = 42;
-      batch.push_back(std::move(s));
-    }
-  }
-  auto results = eng.run_sims(batch);
+  engine::CampaignBuilder grid;
+  grid.motifs(motif_specs(full))
+      .topologies(topo_specs(topos))
+      .each([&, seed = opts.seed_or(42)](engine::Scenario& s) {
+        s.algo = algo;
+        s.seed = seed;
+      });
+  auto& sweep = camp.sims("motifs", std::move(grid));
+  if (!run_campaign(camp, opts)) return 0;
 
   Table t({"Motif", "Ranks", "SpectralFly", "SlimFly", "BundleFly",
            "DragonFly (baseline)"});
-  for (int which = 0; which < 4; ++which) {
-    auto motif = make_motif(which, full);  // name/rank metadata only
-    const auto* row = &results[which * topos.size()];
-    const double base = row[1].completion_ns;  // DragonFly is index 1
+  for (std::size_t which = 0; which < 4; ++which) {
+    auto motif = make_motif(static_cast<int>(which), full);  // metadata only
+    const auto& base = sweep.sim_at({which, 1});  // DragonFly is index 1
     auto speedup = [&](std::size_t i) {
-      return row[i].ok && row[1].ok && row[i].completion_ns > 0
-                 ? Table::num(base / row[i].completion_ns, 2)
+      const auto& r = sweep.sim_at({which, i});
+      return r.ok && base.ok && r.completion_ns > 0
+                 ? Table::num(base.completion_ns / r.completion_ns, 2)
                  : std::string("ERR");
     };
     t.add_row({motif->name(), std::to_string(motif->num_ranks()), speedup(0),
-               speedup(2), speedup(3), row[1].ok ? "1.00" : "ERR"});
+               speedup(2), speedup(3), base.ok ? "1.00" : "ERR"});
   }
   t.print();
+  std::printf("%s", epilogue);
+  print_profile(camp, opts);
   return 0;
 }
 

@@ -1,17 +1,19 @@
-// Experiment-engine quickstart: sweep routing algorithms and failure
-// rates across two topology families in one parallel batch, then emit
-// both a console table and CSV.
+// Campaign-API quickstart: declare sweeps instead of writing loops.
 //
 //   ./experiment_sweep [threads]
 //
-// Every scenario naming the same topology shares the cached graph and
-// all-pairs routing tables; the batch is deterministic for its seeds at
-// any thread count.
+// A CampaignBuilder declares the axes (first declared = outermost); the
+// engine expands the grid, shares each topology's cached artifacts across
+// every scenario naming it, fans the batch over the thread pool, and
+// streams results — in batch order, with bounded memory — through sinks
+// (aligned table, CSV, JSON lines, progress).  Results are bitwise
+// deterministic for their seeds at any thread count.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "engine/engine.hpp"
+#include "engine/campaign.hpp"
+#include "engine/sink.hpp"
 #include "topo/dragonfly.hpp"
 #include "topo/lps.hpp"
 
@@ -21,41 +23,42 @@ int main(int argc, char** argv) {
   engine::EngineConfig cfg;
   cfg.threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
   engine::Engine eng(cfg);
+  engine::Campaign camp(eng, "quickstart");
 
-  eng.register_topology("LPS(11,7)", [] { return topo::lps_graph({11, 7}); });
-  eng.register_topology("DF(12)", [] {
-    return topo::dragonfly_graph(topo::DragonFlyParams::canonical(12));
-  });
+  const std::vector<engine::TopologySpec> topos = {
+      {"LPS(11,7)", [] { return topo::lps_graph({11, 7}); }},
+      {"DF(12)", [] {
+         return topo::dragonfly_graph(topo::DragonFlyParams::canonical(12));
+       }}};
 
-  std::vector<engine::Scenario> batch;
-  for (const char* topo : {"LPS(11,7)", "DF(12)"}) {
-    // Structure under increasing link failures.
-    for (double f : {0.0, 0.1, 0.2}) {
-      engine::Scenario s;
-      s.topology = topo;
-      s.kind = engine::Kind::kStructure;
-      s.failure_fraction = f;
-      s.seed = 17;
-      batch.push_back(s);
-    }
-    // Minimal vs Valiant under a bit-shuffle load.
-    for (auto algo : {routing::Algo::kMinimal, routing::Algo::kValiant}) {
-      engine::Scenario s;
-      s.topology = topo;
-      s.kind = engine::Kind::kSimulate;
-      s.algo = algo;
-      s.pattern = sim::Pattern::kShuffle;
-      s.nranks = 256;
-      s.messages_per_rank = 8;
-      s.offered_load = 0.4;
-      s.seed = 17;
-      batch.push_back(s);
-    }
-  }
+  // Structure under increasing link failures: topology x failure fraction.
+  engine::CampaignBuilder structure;
+  structure.proto().kind = engine::Kind::kStructure;
+  structure.proto().seed = 17;
+  structure.topologies(topos).failure_fractions({0.0, 0.1, 0.2});
+  camp.analytic("failures", std::move(structure));
 
-  auto results = eng.run(batch);
-  engine::Engine::to_table(results).print();
-  std::printf("\n-- CSV --\n");
-  engine::Engine::write_csv(stdout, results);
+  // Minimal vs Valiant under a bit-shuffle load: topology x algo.
+  engine::CampaignBuilder routing;
+  routing.proto().workload.pattern = sim::Pattern::kShuffle;
+  routing.proto().workload.nranks = 256;
+  routing.proto().workload.messages_per_rank = 8;
+  routing.proto().workload.offered_load = 0.4;
+  routing.proto().seed = 17;
+  routing.topologies(topos)
+      .algos({routing::Algo::kMinimal, routing::Algo::kValiant});
+  camp.sims("routing", std::move(routing));
+
+  // Streaming sinks: aligned tables on stdout (one per phase) while the
+  // same results stream as CSV rows — no whole-batch buffering between
+  // evaluation and output.
+  camp.print_plan();
+  std::printf("\n");
+  engine::TableSink table;
+  camp.run({&table});
+
+  std::printf("\n-- CSV (streamed per phase in a real pipeline) --\n");
+  engine::Engine::write_csv(stdout, camp.phase("failures").results());
+  engine::Engine::write_csv(stdout, camp.phase("routing").sim_results());
   return 0;
 }

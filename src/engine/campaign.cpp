@@ -1,0 +1,537 @@
+#include "engine/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/sink.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace sfly::engine {
+
+// --- CampaignBuilder -------------------------------------------------------
+
+CampaignBuilder::CampaignBuilder() = default;
+
+void CampaignBuilder::add_axis(Axis axis) {
+  // An empty axis (e.g. a topology filter that rejects every candidate at
+  // a user-chosen --max-n) is legal: the grid expands to zero scenarios
+  // and the bench prints an empty table, as the hand-rolled loops did.
+  sizes_.push_back(axis.setters.size());
+  axes_.push_back(std::move(axis));
+}
+
+CampaignBuilder& CampaignBuilder::kinds(std::vector<Kind> v) {
+  Axis ax;
+  ax.name = "kind";
+  for (Kind k : v) {
+    ax.setters.emplace_back([k](Scenario& s) { s.kind = k; });
+    ax.labels.emplace_back(kind_name(k));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::topologies(
+    std::vector<TopologySpec> v,
+    std::function<bool(const TopologySpec&)> filter, std::size_t limit) {
+  Axis ax;
+  ax.name = "topology";
+  for (auto& spec : v) {
+    if (filter && !filter(spec)) continue;
+    if (limit && topo_specs_.size() >= limit) break;
+    ax.setters.emplace_back(
+        [name = spec.name](Scenario& s) { s.topology = name; });
+    ax.labels.push_back(spec.name);
+    topo_specs_.push_back(std::move(spec));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::algos(std::vector<routing::Algo> v) {
+  Axis ax;
+  ax.name = "algo";
+  for (auto a : v) {
+    ax.setters.emplace_back([a](Scenario& s) { s.algo = a; });
+    ax.labels.emplace_back(routing::algo_name(a));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::patterns(std::vector<sim::Pattern> v) {
+  Axis ax;
+  ax.name = "pattern";
+  for (auto p : v) {
+    ax.setters.emplace_back([p](Scenario& s) { s.workload.pattern = p; });
+    ax.labels.emplace_back(sim::pattern_name(p));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::motifs(std::vector<MotifSpec> v) {
+  Axis ax;
+  ax.name = "motif";
+  ax.labeled = true;
+  for (auto& m : v) {
+    ax.setters.emplace_back(
+        [factory = m.factory](Scenario& s) { s.workload.motif = factory; });
+    ax.labels.push_back(m.name);
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::loads(std::vector<double> v) {
+  Axis ax;
+  ax.name = "load";
+  for (double l : v) {
+    ax.setters.emplace_back([l](Scenario& s) { s.workload.offered_load = l; });
+    ax.labels.push_back(Table::num(l, 2));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::vc_overrides(std::vector<std::uint32_t> v) {
+  Axis ax;
+  ax.name = "vcs";
+  for (auto n : v) {
+    ax.setters.emplace_back([n](Scenario& s) { s.vcs = n; });
+    ax.labels.push_back(std::to_string(n));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::placements(
+    std::vector<sim::PlacementPolicy> v) {
+  Axis ax;
+  ax.name = "placement";
+  for (auto p : v) {
+    ax.setters.emplace_back([p](Scenario& s) { s.workload.placement = p; });
+    ax.labels.push_back(std::to_string(static_cast<int>(p)));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::failure_fractions(std::vector<double> v) {
+  Axis ax;
+  ax.name = "failure";
+  for (double f : v) {
+    ax.setters.emplace_back([f](Scenario& s) { s.failure_fraction = f; });
+    ax.labels.push_back(Table::num(f, 2));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::restarts(std::vector<int> v) {
+  Axis ax;
+  ax.name = "restarts";
+  for (int r : v) {
+    ax.setters.emplace_back([r](Scenario& s) { s.bisection_restarts = r; });
+    ax.labels.push_back(std::to_string(r));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::seeds(std::vector<std::uint64_t> v) {
+  Axis ax;
+  ax.name = "seed";
+  for (auto s : v) {
+    ax.setters.emplace_back([s](Scenario& sc) { sc.seed = s; });
+    ax.labels.push_back(std::to_string(s));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::seed_range(std::uint64_t base,
+                                             std::size_t count) {
+  std::vector<std::uint64_t> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = base + i;
+  return seeds(std::move(v));
+}
+
+CampaignBuilder& CampaignBuilder::each(std::function<void(Scenario&)> fn) {
+  hooks_.push_back(std::move(fn));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::filter(
+    std::function<bool(const Scenario&)> fn) {
+  filters_.push_back(std::move(fn));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::label(
+    std::function<std::string(const Scenario&)> fn) {
+  label_fn_ = std::move(fn);
+  return *this;
+}
+
+void CampaignBuilder::register_with(Engine& eng) const {
+  for (const auto& spec : topo_specs_)
+    if (spec.build)
+      eng.register_topology(spec.name, spec.build, spec.concentration);
+}
+
+std::size_t CampaignBuilder::grid_size() const {
+  std::size_t n = 1;
+  for (std::size_t s : sizes_) n *= s;
+  return n;
+}
+
+std::string CampaignBuilder::shape() const {
+  if (axes_.empty()) return "1 (no axes)";
+  std::string out;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (i) out += " x ";
+    out += axes_[i].name + "(" + std::to_string(sizes_[i]) + ")";
+  }
+  return out;
+}
+
+std::vector<std::string> CampaignBuilder::topology_names() const {
+  std::vector<std::string> out;
+  out.reserve(topo_specs_.size());
+  for (const auto& spec : topo_specs_) out.push_back(spec.name);
+  return out;
+}
+
+// The one expansion loop both surfaces share: odometer over the axes in
+// declaration order (first = outermost, row-major), axis setters, hooks,
+// then filters; surviving points reach `emit` with their auto-label (the
+// joined names of labeled-axis values, e.g. the motif name).
+void CampaignBuilder::visit_points(
+    const std::function<void(Scenario&&, std::string&&)>& emit) const {
+  const std::size_t total = grid_size();
+  std::vector<std::size_t> coords(axes_.size(), 0);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    std::size_t rem = flat;
+    for (std::size_t k = axes_.size(); k-- > 0;) {
+      coords[k] = rem % sizes_[k];
+      rem /= sizes_[k];
+    }
+    Scenario s = proto_;
+    std::string label;
+    for (std::size_t k = 0; k < axes_.size(); ++k) {
+      axes_[k].setters[coords[k]](s);
+      if (axes_[k].labeled) {
+        if (!label.empty()) label += ' ';
+        label += axes_[k].labels[coords[k]];
+      }
+    }
+    for (const auto& hook : hooks_) hook(s);
+    bool pass = true;
+    for (const auto& f : filters_)
+      if (!f(s)) {
+        pass = false;
+        break;
+      }
+    if (pass) emit(std::move(s), std::move(label));
+  }
+}
+
+std::vector<Scenario> CampaignBuilder::expand() const {
+  std::vector<Scenario> out;
+  out.reserve(grid_size());
+  visit_points([&](Scenario&& s, std::string&&) { out.push_back(std::move(s)); });
+  return out;
+}
+
+std::vector<SimScenario> CampaignBuilder::expand_sims() const {
+  std::vector<SimScenario> out;
+  out.reserve(grid_size());
+  visit_points([&](Scenario&& s, std::string&& label) {
+    if (label_fn_) label = label_fn_(s);
+    out.push_back(to_sim_scenario(s, std::move(label)));
+  });
+  return out;
+}
+
+// --- Phase -----------------------------------------------------------------
+
+Phase::Phase(std::string name, CampaignBuilder grid, bool sim)
+    : name_(std::move(name)), sim_(sim), grid_(std::move(grid)) {
+  expand_into_batches();
+}
+
+Phase::Phase(std::string name, std::size_t estimate,
+             std::function<CampaignBuilder(Engine&)> make)
+    : name_(std::move(name)), sim_(true), estimate_(estimate),
+      make_(std::move(make)) {}
+
+void Phase::expand_into_batches() {
+  if (sim_)
+    sims_ = grid_.expand_sims();
+  else
+    scenarios_ = grid_.expand();
+}
+
+std::size_t Phase::size() const {
+  if (deferred()) return estimate_;
+  return sim_ ? sims_.size() : scenarios_.size();
+}
+
+std::size_t Phase::flat_index(std::initializer_list<std::size_t> coords,
+                              std::size_t have) const {
+  const auto& sizes = grid_.axis_sizes();
+  if (coords.size() != sizes.size())
+    throw std::logic_error("Phase::at: expected " +
+                           std::to_string(sizes.size()) + " coordinates");
+  if (have != grid_.grid_size())
+    throw std::logic_error(
+        "Phase::at: grid was filtered or has not run; coordinate access "
+        "needs the full product");
+  std::size_t flat = 0, k = 0;
+  for (std::size_t c : coords) {
+    if (c >= sizes[k])
+      throw std::logic_error("Phase::at: coordinate out of range");
+    flat = flat * sizes[k] + c;
+    ++k;
+  }
+  return flat;
+}
+
+const Result& Phase::at(std::initializer_list<std::size_t> coords) const {
+  return results_[flat_index(coords, results_.size())];
+}
+
+const SimResult& Phase::sim_at(
+    std::initializer_list<std::size_t> coords) const {
+  return sim_results_[flat_index(coords, sim_results_.size())];
+}
+
+// --- Campaign --------------------------------------------------------------
+
+Campaign::Campaign(Engine& eng, std::string name)
+    : eng_(eng), name_(std::move(name)) {}
+
+Phase& Campaign::analytic(std::string name, CampaignBuilder grid) {
+  grid.register_with(eng_);
+  phases_.emplace_back(new Phase(std::move(name), std::move(grid), false));
+  return *phases_.back();
+}
+
+Phase& Campaign::sims(std::string name, CampaignBuilder grid) {
+  grid.register_with(eng_);
+  phases_.emplace_back(new Phase(std::move(name), std::move(grid), true));
+  return *phases_.back();
+}
+
+Phase& Campaign::sims_deferred(std::string name, std::size_t estimate,
+                               std::function<CampaignBuilder(Engine&)> make) {
+  phases_.emplace_back(new Phase(std::move(name), estimate, std::move(make)));
+  return *phases_.back();
+}
+
+void Campaign::print_plan(std::FILE* out) const {
+  Table t({"Phase", "Scenarios", "Grid", "New artifact builds"});
+  std::set<std::string> seen;
+  std::size_t total = 0, total_builds = 0;
+  for (const auto& ph : phases_) {
+    std::size_t fresh = 0;
+    for (const auto& name : ph->grid().topology_names())
+      if (seen.insert(name).second) ++fresh;
+    // A grid without a topology axis still evaluates its proto topology.
+    if (ph->grid().topology_names().empty() && !ph->deferred() &&
+        seen.insert(ph->grid().proto().topology).second)
+      ++fresh;
+    total += ph->size();
+    total_builds += fresh;
+    t.add_row({ph->name(),
+               std::to_string(ph->size()) + (ph->deferred() ? " (est.)" : ""),
+               ph->deferred() ? "deferred" : ph->grid().shape(),
+               std::to_string(fresh)});
+  }
+  std::fprintf(out, "== campaign plan: %s (dry run, nothing evaluated) ==\n",
+               name_.c_str());
+  auto text = t.str();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fprintf(out,
+               "total: %zu scenario(s), %zu topology artifact build(s)\n",
+               total, total_builds);
+}
+
+double Campaign::materialize_artifacts() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::set<std::string> done;
+  for (const auto& ph : phases_) {
+    if (ph->deferred()) continue;
+    auto names = ph->grid().topology_names();
+    if (names.empty()) names.push_back(ph->grid().proto().topology);
+    for (const auto& name : names) {
+      if (name.empty() || !done.insert(name).second) continue;
+      auto art = eng_.artifacts().get(name);
+      (void)art->graph();
+      if (ph->is_sim()) {
+        (void)art->tables();
+        (void)art->next_hops();
+      }
+    }
+  }
+  build_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return build_seconds_;
+}
+
+void Campaign::run(const std::vector<ResultSink*>& sinks) {
+  for (auto& ph : phases_) {
+    if (ph->deferred()) {
+      ph->grid_ = ph->make_(eng_);
+      ph->grid_.register_with(eng_);
+      ph->expand_into_batches();
+      ph->make_ = nullptr;  // materialized: size() now reports the real count
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (ph->is_sim()) {
+      CollectSink collect(&ph->sim_results_);
+      std::vector<ResultSink*> all{&collect};
+      all.insert(all.end(), sinks.begin(), sinks.end());
+      eng_.run_sims_stream(ph->sims_, all);
+    } else {
+      CollectSink collect(&ph->results_);
+      std::vector<ResultSink*> all{&collect};
+      all.insert(all.end(), sinks.begin(), sinks.end());
+      eng_.run_stream(ph->scenarios_, all);
+    }
+    ph->eval_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+}
+
+Phase& Campaign::phase(const std::string& name) {
+  for (auto& ph : phases_)
+    if (ph->name() == name) return *ph;
+  throw std::out_of_range("no campaign phase named '" + name + "'");
+}
+
+std::size_t Campaign::total_scenarios() const {
+  std::size_t n = 0;
+  for (const auto& ph : phases_) n += ph->size();
+  return n;
+}
+
+double Campaign::eval_seconds() const {
+  double s = 0;
+  for (const auto& ph : phases_) s += ph->eval_seconds();
+  return s;
+}
+
+// --- AdaptiveSweep ---------------------------------------------------------
+
+CovPrefix cov_prefix(const std::vector<double>& vals, double cov_target) {
+  for (std::size_t x = 1; 10 * x <= vals.size(); x *= 10) {
+    const std::size_t use = 10 * x;
+    double means[10];
+    for (std::size_t b = 0; b < 10; ++b) {
+      double s = 0;
+      for (std::size_t i = 0; i < x; ++i) s += vals[b * x + i];
+      means[b] = s / static_cast<double>(x);
+    }
+    double m = 0;
+    for (double v : means) m += v;
+    m /= 10.0;
+    double var = 0;
+    for (double v : means) var += (v - m) * (v - m);
+    double cov = m != 0.0 ? std::sqrt(var / 10.0) / std::fabs(m) : 0.0;
+    if (cov < cov_target) return {use, true};
+  }
+  return {vals.size(), false};
+}
+
+AdaptiveSweep::AdaptiveSweep(Engine& eng, CampaignBuilder points, Config cfg)
+    : eng_(eng), grid_(std::move(points)), cfg_(std::move(cfg)) {
+  if (!cfg_.keep)
+    cfg_.keep = [](const Result& r) { return r.ok && r.connected; };
+  if (!cfg_.metric) cfg_.metric = [](const Result& r) { return r.mean_hops; };
+  if (!cfg_.trial_cap)
+    cfg_.trial_cap = [max = cfg_.max_trials](const Scenario& s) {
+      return s.failure_fraction == 0.0 ? 1 : max;
+    };
+  grid_.register_with(eng_);
+  for (auto& s : grid_.expand()) points_.push_back({std::move(s)});
+}
+
+void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks) {
+  // Waves: every unconverged point contributes its next block of trials
+  // (up to the next CoV checkpoint — 10, 100, 1000, ... — capped at its
+  // trial budget), the whole wave runs as one streamed batch, and the
+  // CoV rule retires points between waves.
+  while (true) {
+    std::vector<Scenario> batch;
+    std::vector<std::pair<std::size_t, std::size_t>> slots;  // (point, trial)
+    for (std::size_t pi = 0; pi < points_.size(); ++pi) {
+      PointState& p = points_[pi];
+      if (p.converged) continue;
+      const std::uint64_t cap = cfg_.trial_cap(p.point);
+      std::uint64_t target = 10;
+      while (target <= p.scheduled) target *= 10;
+      target = std::min(target, cap);
+      for (std::size_t t = p.scheduled; t < target; ++t) {
+        Scenario sc = p.point;
+        sc.seed = split_seed(cfg_.seed_base, t);
+        batch.push_back(std::move(sc));
+        slots.emplace_back(pi, t);
+      }
+      p.scheduled = target;
+    }
+    if (batch.empty()) break;
+
+    std::vector<Result> results;
+    CollectSink collect(&results);
+    std::vector<ResultSink*> all{&collect};
+    all.insert(all.end(), sinks.begin(), sinks.end());
+    eng_.run_stream(batch, all);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      PointState& p = points_[slots[i].first];
+      const auto& r = results[i];
+      if (cfg_.keep(r)) {
+        p.kept.push_back(r);
+        p.metric_vals.push_back(cfg_.metric(r));
+      }
+    }
+    for (PointState& p : points_) {
+      if (p.converged) continue;
+      if (cov_prefix(p.metric_vals, cfg_.cov_target).converged)
+        p.converged = true;
+      if (p.scheduled >= cfg_.trial_cap(p.point))
+        p.converged = true;  // exhausted the budget
+    }
+  }
+}
+
+std::size_t AdaptiveSweep::converged_prefix(std::size_t point) const {
+  return cov_prefix(points_[point].metric_vals, cfg_.cov_target).use;
+}
+
+void AdaptiveSweep::print_plan(std::FILE* out) const {
+  std::uint64_t max_total = 0, first_wave = 0;
+  for (const auto& p : points_) {
+    const std::uint64_t cap = cfg_.trial_cap(p.point);
+    max_total += cap;
+    first_wave += std::min<std::uint64_t>(cap, 10);
+  }
+  std::fprintf(out,
+               "adaptive sweep: %zu point(s) [%s], CoV target %.0f%%,\n"
+               "  wave 1 = %llu trial(s); worst case %llu "
+               "(checkpoints 10/100/1000/... per point)\n",
+               points_.size(), grid_.shape().c_str(), cfg_.cov_target * 100.0,
+               static_cast<unsigned long long>(first_wave),
+               static_cast<unsigned long long>(max_total));
+}
+
+}  // namespace sfly::engine

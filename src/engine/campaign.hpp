@@ -1,0 +1,299 @@
+#pragma once
+// Declarative campaign layer (see DESIGN.md §6).
+//
+// The paper's evaluation is a grid of sweeps — topology x routing x
+// traffic x failure x seed.  A CampaignBuilder *declares* the sweep axes
+// (in nesting order: the first declared axis is the outermost loop) plus
+// per-axis filters and per-point hooks, and the engine owns expansion
+// into Scenario / SimScenario batches: no bench hand-rolls nested loops.
+// A Campaign strings named phases (grids) over one Engine, supports
+// dry-run planning (scenario counts, axis shapes, artifact builds —
+// nothing is evaluated), and executes phases through the engine's
+// streaming sinks.  AdaptiveSweep adds the Fig. 5 shape: a point grid
+// whose per-point trial count is scheduled in waves under the paper's
+// CoV stopping rule.
+//
+// Determinism: expansion is a pure function of the declaration, and
+// execution inherits the engine's serial==parallel bitwise contract.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/scenario.hpp"
+
+namespace sfly::engine {
+
+/// One topology axis value: the artifact-cache registration key plus the
+/// deferred graph builder.  `vertices`/`radix` are optional metadata so
+/// topology filters can select instances without building any graph
+/// (design-space sweeps enumerate hundreds of candidates).
+struct TopologySpec {
+  std::string name;
+  std::function<Graph()> build;
+  std::uint32_t concentration = 8;
+  std::uint64_t vertices = 0;
+  std::uint32_t radix = 0;
+};
+
+/// One motif axis value: display name + factory (motifs are stateful, so
+/// every evaluation constructs a fresh instance).
+struct MotifSpec {
+  std::string name;
+  std::function<std::unique_ptr<sim::Motif>()> factory;
+};
+
+/// Declares one sweep grid.  Axis setters append in call order; the first
+/// declared axis is the outermost expansion loop (row-major).  The proto
+/// scenario carries every non-axis knob.
+class CampaignBuilder {
+ public:
+  CampaignBuilder();
+
+  /// The base scenario every grid point starts from (kind, structure /
+  /// layout knobs, workload defaults, base seed, ...).
+  [[nodiscard]] Scenario& proto() { return proto_; }
+  [[nodiscard]] const Scenario& proto() const { return proto_; }
+
+  // --- axes (call order = nesting order, first call outermost) ---------
+  CampaignBuilder& kinds(std::vector<Kind> v);
+  CampaignBuilder& topologies(std::vector<TopologySpec> v,
+                              std::function<bool(const TopologySpec&)> filter = {},
+                              std::size_t limit = 0);
+  CampaignBuilder& algos(std::vector<routing::Algo> v);
+  CampaignBuilder& patterns(std::vector<sim::Pattern> v);
+  CampaignBuilder& motifs(std::vector<MotifSpec> v);
+  CampaignBuilder& loads(std::vector<double> v);
+  CampaignBuilder& vc_overrides(std::vector<std::uint32_t> v);
+  CampaignBuilder& placements(std::vector<sim::PlacementPolicy> v);
+  CampaignBuilder& failure_fractions(std::vector<double> v);
+  CampaignBuilder& restarts(std::vector<int> v);  // bisection restart budgets
+  CampaignBuilder& seeds(std::vector<std::uint64_t> v);
+  CampaignBuilder& seed_range(std::uint64_t base, std::size_t count);
+
+  // --- per-point hooks -------------------------------------------------
+  /// Mutate every expanded point (after axes applied, before filters);
+  /// multiple hooks run in registration order.
+  CampaignBuilder& each(std::function<void(Scenario&)> fn);
+  /// Drop expanded points the predicate rejects.  Filtered grids lose
+  /// coordinate indexing (Phase::at) but keep declaration order.
+  CampaignBuilder& filter(std::function<bool(const Scenario&)> fn);
+  /// Label attached to expanded SimScenarios (default: the motif axis
+  /// value's name, else empty).
+  CampaignBuilder& label(std::function<std::string(const Scenario&)> fn);
+
+  // --- expansion -------------------------------------------------------
+  /// Register every topology axis value carrying a builder with `eng`.
+  void register_with(Engine& eng) const;
+  [[nodiscard]] std::vector<Scenario> expand() const;
+  [[nodiscard]] std::vector<SimScenario> expand_sims() const;
+
+  // --- shape -----------------------------------------------------------
+  [[nodiscard]] std::size_t grid_size() const;  // product of axis sizes
+  [[nodiscard]] const std::vector<std::size_t>& axis_sizes() const {
+    return sizes_;
+  }
+  /// "pattern(4) x load(6) x topology(4)" — the declared nesting order.
+  [[nodiscard]] std::string shape() const;
+  /// Topology axis values after filter/limit (declaration order); empty
+  /// if the grid has no topology axis (proto names the topology).
+  [[nodiscard]] std::vector<std::string> topology_names() const;
+  /// The filtered TopologySpecs themselves (metadata drives result
+  /// tables, e.g. the design-space sweep's vertices/radix columns).
+  [[nodiscard]] const std::vector<TopologySpec>& topology_specs() const {
+    return topo_specs_;
+  }
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<std::function<void(Scenario&)>> setters;
+    std::vector<std::string> labels;  // per-value display names
+    bool labeled = false;             // labels feed SimScenario::label
+  };
+  void add_axis(Axis axis);
+  void visit_points(
+      const std::function<void(Scenario&&, std::string&&)>& emit) const;
+
+  Scenario proto_;
+  std::vector<Axis> axes_;
+  std::vector<std::size_t> sizes_;
+  std::vector<TopologySpec> topo_specs_;
+  std::vector<std::function<void(Scenario&)>> hooks_;
+  std::vector<std::function<bool(const Scenario&)>> filters_;
+  std::function<std::string(const Scenario&)> label_fn_;
+};
+
+/// One named grid inside a Campaign: the builder, its expanded batch, and
+/// (after Campaign::run) the collected results with coordinate access.
+class Phase {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool is_sim() const { return sim_; }
+  [[nodiscard]] bool deferred() const { return static_cast<bool>(make_); }
+  /// Scenario count: exact once expanded, the declared estimate before a
+  /// deferred phase materializes.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const CampaignBuilder& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const {
+    return scenarios_;
+  }
+  [[nodiscard]] const std::vector<SimScenario>& sims() const { return sims_; }
+  [[nodiscard]] const std::vector<Result>& results() const { return results_; }
+  [[nodiscard]] const std::vector<SimResult>& sim_results() const {
+    return sim_results_;
+  }
+
+  /// Row-major coordinate access in axis declaration order; throws
+  /// std::logic_error on a filtered grid (expansion != full product) or
+  /// before the phase has run.
+  [[nodiscard]] const Result& at(std::initializer_list<std::size_t> coords) const;
+  [[nodiscard]] const SimResult& sim_at(
+      std::initializer_list<std::size_t> coords) const;
+
+  [[nodiscard]] double eval_seconds() const { return eval_seconds_; }
+
+ private:
+  friend class Campaign;
+  Phase(std::string name, CampaignBuilder grid, bool sim);
+  Phase(std::string name, std::size_t estimate,
+        std::function<CampaignBuilder(Engine&)> make);
+  void expand_into_batches();
+  [[nodiscard]] std::size_t flat_index(
+      std::initializer_list<std::size_t> coords, std::size_t have) const;
+
+  std::string name_;
+  bool sim_ = false;
+  CampaignBuilder grid_;
+  std::size_t estimate_ = 0;
+  std::function<CampaignBuilder(Engine&)> make_;  // deferred phases only
+  std::vector<Scenario> scenarios_;
+  std::vector<SimScenario> sims_;
+  std::vector<Result> results_;
+  std::vector<SimResult> sim_results_;
+  double eval_seconds_ = 0.0;
+};
+
+/// A bench's whole declared evaluation: named phases over one Engine.
+/// Phases execute in declaration order; every result streams through the
+/// caller's sinks (begin/end bracket each phase's batch) and also
+/// collects into the phase for indexed post-processing.
+class Campaign {
+ public:
+  Campaign(Engine& eng, std::string name);
+
+  /// Add an analytic (Scenario) phase; topologies register immediately.
+  Phase& analytic(std::string name, CampaignBuilder grid);
+  /// Add a simulation (SimScenario) phase; topologies register immediately.
+  Phase& sims(std::string name, CampaignBuilder grid);
+  /// Add a simulation phase whose grid can only be built at execution
+  /// time (axes depending on earlier phases' artifacts, e.g. a VC sweep
+  /// derived from the cached tables' diameter).  `estimate` feeds the
+  /// dry-run plan.
+  Phase& sims_deferred(std::string name, std::size_t estimate,
+                       std::function<CampaignBuilder(Engine&)> make);
+
+  /// Print the expanded plan — per-phase scenario counts, axis shapes,
+  /// and new topology artifact builds — without evaluating anything.
+  void print_plan(std::FILE* out = stdout) const;
+
+  /// Force every phase topology's artifacts to materialize now (sim
+  /// phases: graph + tables + next-hop index; analytic: graph only) and
+  /// record the build wall-clock, so --profile / perf records separate
+  /// one-off construction from scenario evaluation.
+  double materialize_artifacts();
+
+  /// Execute every phase in declaration order.
+  void run(const std::vector<ResultSink*>& sinks = {});
+
+  [[nodiscard]] Phase& phase(const std::string& name);
+  [[nodiscard]] Engine& engine() { return eng_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t total_scenarios() const;
+  [[nodiscard]] double eval_seconds() const;
+  [[nodiscard]] double artifact_build_seconds() const { return build_seconds_; }
+
+ private:
+  Engine& eng_;
+  std::string name_;
+  std::vector<std::unique_ptr<Phase>> phases_;
+  double build_seconds_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive trial scheduling (the Fig. 5 shape).
+
+/// Prefix selected by the paper's batch/CoV stopping rule (footnote 1)
+/// over per-trial metric values: batches of size len/10; converged when
+/// the CoV of the 10 batch means drops below `cov_target`.  `converged`
+/// distinguishes the rule firing from running out of values — the wave
+/// scheduler needs that distinction even when both return every value.
+struct CovPrefix {
+  std::size_t use = 0;
+  bool converged = false;
+};
+
+[[nodiscard]] CovPrefix cov_prefix(const std::vector<double>& vals,
+                                   double cov_target);
+
+/// A point grid (from a CampaignBuilder) where each point contributes
+/// seeded trials until the CoV rule converges or `max_trials` is
+/// exhausted.  Trials are scheduled in waves (each point advances to its
+/// next checkpoint: 10, 100, 1000, ... trials), every wave runs as one
+/// engine batch, and the rule retires points between waves — converged
+/// points stop consuming trials while unconverged ones keep the engine's
+/// parallelism.  Trial seeds derive only from (seed_base, trial number),
+/// never the wave split, so results are bitwise-identical at any thread
+/// count and to the precompute-everything schedule.
+class AdaptiveSweep {
+ public:
+  struct Config {
+    std::uint64_t max_trials = 10;
+    std::uint64_t seed_base = 9177;
+    double cov_target = 0.10;
+    /// Results entering the per-point series (default: ok && connected).
+    std::function<bool(const Result&)> keep;
+    /// Convergence metric over kept results (default: mean_hops).
+    std::function<double(const Result&)> metric;
+    /// Per-point trial budget (default: deterministic points — failure
+    /// fraction 0 — run once; everything else up to max_trials).
+    std::function<std::uint64_t(const Scenario&)> trial_cap;
+  };
+
+  struct PointState {
+    Scenario point;               // trial template (seed overwritten per trial)
+    std::size_t scheduled = 0;    // trials submitted so far
+    bool converged = false;       // rule fired or budget exhausted
+    std::vector<Result> kept;     // kept results in trial order
+    std::vector<double> metric_vals;
+  };
+
+  AdaptiveSweep(Engine& eng, CampaignBuilder points, Config cfg);
+  AdaptiveSweep(Engine& eng, CampaignBuilder points)
+      : AdaptiveSweep(eng, std::move(points), Config{}) {}
+
+  /// Wave loop; each wave's results stream through `sinks` in batch order.
+  void run(const std::vector<ResultSink*>& sinks = {});
+
+  [[nodiscard]] const std::vector<PointState>& points() const {
+    return points_;
+  }
+  /// CoV-selected prefix length for a point's kept series.
+  [[nodiscard]] std::size_t converged_prefix(std::size_t point) const;
+
+  /// Dry-run plan: point grid shape, wave schedule, worst-case trials.
+  void print_plan(std::FILE* out = stdout) const;
+
+ private:
+  Engine& eng_;
+  CampaignBuilder grid_;
+  Config cfg_;
+  std::vector<PointState> points_;
+};
+
+}  // namespace sfly::engine

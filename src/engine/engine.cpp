@@ -2,11 +2,15 @@
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/spectralfly_net.hpp"
+#include "engine/sink.hpp"
 #include "graph/failures.hpp"
 #include "graph/metrics.hpp"
 #include "layout/power.hpp"
@@ -136,9 +140,10 @@ SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
 
     auto sim = net.make_simulator(s.seed);
     r.diameter = net.diameter();
-    if (s.motif) {
-      auto motif = s.motif();
-      auto res = sim::run_motif(*sim, *motif, s.seed, s.motif_compute_ns);
+    const Workload& w = s.workload;
+    if (w.motif) {
+      auto motif = w.motif();
+      auto res = sim::run_motif(*sim, *motif, s.seed, w.motif_compute_ns);
       r.completion_ns = res.completion_ns;
       r.messages = res.messages;
       r.mean_latency_ns = res.mean_latency_ns;
@@ -146,14 +151,14 @@ SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
       r.p99_latency_ns = sim->message_latency().percentile(0.99);
     } else {
       sim::SyntheticLoad load;
-      load.pattern = s.pattern;
+      load.pattern = w.pattern;
       load.nranks =
-          s.nranks ? s.nranks : largest_pow2_at_most(sim->num_endpoints());
-      load.message_bytes = s.message_bytes;
-      load.messages_per_rank = s.messages_per_rank;
-      load.offered_load = s.offered_load;
+          w.nranks ? w.nranks : largest_pow2_at_most(sim->num_endpoints());
+      load.message_bytes = w.message_bytes;
+      load.messages_per_rank = w.messages_per_rank;
+      load.offered_load = w.offered_load;
       load.seed = s.seed;
-      load.placement = s.placement;
+      load.placement = w.placement;
       auto res = run_synthetic(*sim, load);
       r.max_latency_ns = res.max_latency_ns;
       r.mean_latency_ns = res.mean_latency_ns;
@@ -185,19 +190,9 @@ Result Engine::evaluate(const Scenario& s, std::size_t index) {
 
     if (s.kind == Kind::kSimulate) {
       // One sim code path: delegate to the SimScenario evaluator (shared
-      // tables via the Network facade, identical load construction).
-      SimScenario ss;
-      ss.topology = s.topology;
-      ss.algo = s.algo;
-      ss.pattern = s.pattern;
-      ss.offered_load = s.offered_load;
-      ss.nranks = s.nranks;
-      ss.messages_per_rank = s.messages_per_rank;
-      ss.message_bytes = s.message_bytes;
-      ss.vcs = s.vcs;
-      ss.failure_fraction = s.failure_fraction;
-      ss.seed = s.seed;
-      SimResult sr = evaluate_sim(ss, index);
+      // tables via the Network facade; the Workload transfers wholesale,
+      // so the two surfaces cannot diverge field by field).
+      SimResult sr = evaluate_sim(to_sim_scenario(s), index);
       if (!sr.ok) throw std::runtime_error(sr.error);
       auto base = art->graph();
       r.vertices = base->num_vertices();
@@ -248,92 +243,135 @@ Result Engine::evaluate(const Scenario& s, std::size_t index) {
   return r;
 }
 
-std::vector<Result> Engine::run(const std::vector<Scenario>& batch) {
-  std::vector<Result> results(batch.size());
-  TaskPool pool(cfg_.threads);
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    pool.submit([this, &batch, &results, i] { results[i] = evaluate(batch[i], i); });
-  pool.wait();
-  return results;
-}
-
-std::vector<SimResult> Engine::run_sims(const std::vector<SimScenario>& batch) {
-  std::vector<SimResult> results(batch.size());
-  TaskPool pool(cfg_.threads);
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    pool.submit(
-        [this, &batch, &results, i] { results[i] = evaluate_sim(batch[i], i); });
-  pool.wait();
-  return results;
-}
-
 namespace {
 
-std::string fmt(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
+// Shared core of run_stream / run_sims_stream: fan the batch across the
+// pool with a sliding submission window, park out-of-order completions in
+// a reorder buffer, and deliver the in-order prefix to the sinks from the
+// calling thread.  The window bounds both the reorder buffer and the
+// submitted-but-unconsumed backlog, so memory stays O(threads) at any
+// campaign size; evaluation itself is unchanged, so results are bitwise
+// identical to the collect-everything path at any thread count.
+template <typename Scen, typename Res, typename Eval>
+void stream_batch(unsigned threads, const std::vector<Scen>& batch,
+                  const std::vector<ResultSink*>& sinks, Eval&& eval) {
+  for (auto* s : sinks) s->begin(batch.size());
+  {
+    // Declared before the pool: if a sink throws mid-delivery, the pool
+    // destructs FIRST and drains its queued tasks while the shared
+    // mutex/cv/reorder buffer are still alive.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::size_t, Res> done;  // completed, not yet delivered
+    std::size_t next_submit = 0, next_deliver = 0;
+    TaskPool pool(threads);
+    const std::size_t window =
+        std::max<std::size_t>(16, std::size_t{4} * pool.width());
 
-// Topology names legitimately contain commas ("LPS(3,5)"); quote them
-// and the free-text error/label fields per RFC 4180.
-std::string quoted(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
+    auto submit_one = [&](std::size_t i) {
+      pool.submit([&, i] {
+        // evaluate()/evaluate_sim() turn scenario failures into ok=false
+        // results; this catch covers only infrastructure failures (e.g.
+        // bad_alloc) that would otherwise leave a hole in the reorder
+        // buffer and deadlock the delivery loop.
+        Res r;
+        try {
+          r = eval(batch[i], i);
+        } catch (const std::exception& e) {
+          r.index = i;
+          r.error = e.what();
+        } catch (...) {
+          r.index = i;
+          r.error = "unknown evaluation failure";
+        }
+        std::lock_guard lock(mu);
+        done.emplace(i, std::move(r));
+        cv.notify_one();
+      });
+    };
+
+    while (next_deliver < batch.size()) {
+      while (next_submit < batch.size() &&
+             next_submit < next_deliver + window)
+        submit_one(next_submit++);
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return done.count(next_deliver) != 0; });
+      while (!done.empty() && done.begin()->first == next_deliver) {
+        Res r = std::move(done.begin()->second);
+        done.erase(done.begin());
+        lock.unlock();
+        for (auto* s : sinks) s->consume(r);
+        ++next_deliver;
+        lock.lock();
+      }
+    }
+    pool.wait();  // drained; rethrows an (unexpected) infrastructure error
   }
-  out += '"';
-  return out;
+  for (auto* s : sinks) s->end();
 }
 
 }  // namespace
 
+void Engine::run_stream(const std::vector<Scenario>& batch,
+                        const std::vector<ResultSink*>& sinks) {
+  stream_batch<Scenario, Result>(
+      cfg_.threads, batch, sinks,
+      [this](const Scenario& s, std::size_t i) { return evaluate(s, i); });
+}
+
+void Engine::run_sims_stream(const std::vector<SimScenario>& batch,
+                             const std::vector<ResultSink*>& sinks) {
+  stream_batch<SimScenario, SimResult>(
+      cfg_.threads, batch, sinks,
+      [this](const SimScenario& s, std::size_t i) { return evaluate_sim(s, i); });
+}
+
+std::vector<Result> Engine::run(const std::vector<Scenario>& batch) {
+  std::vector<Result> results;
+  CollectSink collect(&results);
+  run_stream(batch, {&collect});
+  return results;
+}
+
+std::vector<SimResult> Engine::run_sims(const std::vector<SimScenario>& batch) {
+  std::vector<SimResult> results;
+  CollectSink collect(&results);
+  run_sims_stream(batch, {&collect});
+  return results;
+}
+
 std::string Engine::csv(const std::vector<Result>& results) {
-  std::ostringstream out;
-  out << "index,topology,kind,ok,error,vertices,radix,connected,diameter,"
-         "mean_hops,girth,bisection,normalized_bisection,lambda,mu1,ramanujan,"
-         "fiedler_bisection_lb,"
-         "max_latency_ns,mean_latency_ns,p99_latency_ns,completion_ns,messages,"
-         "mean_wire_m,max_wire_m,wires_electrical,wires_optical,power_watts,"
-         "mw_per_gbps,wall_ms\n";
-  for (const auto& r : results) {
-    out << r.index << ',' << quoted(r.topology) << ',' << kind_name(r.kind) << ','
-        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << r.vertices << ','
-        << r.radix << ',' << (r.connected ? 1 : 0) << ',' << fmt(r.diameter)
-        << ',' << fmt(r.mean_hops) << ',' << r.girth << ',' << fmt(r.bisection)
-        << ',' << fmt(r.normalized_bisection) << ',' << fmt(r.lambda) << ','
-        << fmt(r.mu1) << ',' << (r.ramanujan ? 1 : 0) << ','
-        << fmt(r.fiedler_bisection_lb) << ','
-        << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
-        << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
-        << r.messages << ',' << fmt(r.mean_wire_m) << ',' << fmt(r.max_wire_m)
-        << ',' << r.wires_electrical << ',' << r.wires_optical << ','
-        << fmt(r.power_watts) << ',' << fmt(r.mw_per_gbps) << ','
-        << fmt(r.wall_ms) << '\n';
-  }
-  return out.str();
+  std::string out = csv_header(false);
+  for (const auto& r : results) out += csv_row(r);
+  return out;
 }
 
 std::string Engine::sim_csv(const std::vector<SimResult>& results) {
-  std::ostringstream out;
-  out << "index,topology,label,ok,error,diameter,max_latency_ns,"
-         "mean_latency_ns,p99_latency_ns,completion_ns,messages,events,"
-         "packets,wall_ms\n";
-  for (const auto& r : results) {
-    out << r.index << ',' << quoted(r.topology) << ',' << quoted(r.label) << ','
-        << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << fmt(r.diameter)
-        << ',' << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
-        << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
-        << r.messages << ',' << r.events << ',' << r.packets << ','
-        << fmt(r.wall_ms) << '\n';
-  }
-  return out.str();
+  std::string out = csv_header(true);
+  for (const auto& r : results) out += csv_row(r);
+  return out;
 }
 
 void Engine::write_csv(std::FILE* out, const std::vector<Result>& results) {
-  auto text = csv(results);
-  std::fwrite(text.data(), 1, text.size(), out);
+  // Header even for an empty batch, matching csv(): the caller knows the
+  // result flavor here, which the lazily-headered streaming sink cannot.
+  if (results.empty()) {
+    std::fputs(csv_header(false), out);
+    return;
+  }
+  CsvSink sink(out);
+  for (const auto& r : results) sink.consume(r);
+  sink.end();
+}
+
+void Engine::write_csv(std::FILE* out, const std::vector<SimResult>& results) {
+  if (results.empty()) {
+    std::fputs(csv_header(true), out);
+    return;
+  }
+  CsvSink sink(out);
+  for (const auto& r : results) sink.consume(r);
+  sink.end();
 }
 
 Table Engine::to_table(const std::vector<Result>& results) {

@@ -24,6 +24,8 @@
 
 namespace sfly::engine {
 
+class ResultSink;
+
 struct EngineConfig {
   unsigned threads = 0;  // 0 = hardware_threads()
   /// Base simulator knobs (bandwidth, latencies, buffers).  Per-scenario
@@ -55,13 +57,25 @@ class Engine {
   [[nodiscard]] std::vector<SimResult> run_sims(
       const std::vector<SimScenario>& batch);
 
+  /// Streaming evaluation: fan the batch across the pool, but deliver
+  /// each result to every sink strictly in batch order as workers complete
+  /// them (a bounded reorder window keeps memory O(threads), not
+  /// O(batch)).  run()/run_sims() are this with a CollectSink.  Sinks
+  /// are invoked from the calling thread only.
+  void run_stream(const std::vector<Scenario>& batch,
+                  const std::vector<ResultSink*>& sinks);
+  void run_sims_stream(const std::vector<SimScenario>& batch,
+                       const std::vector<ResultSink*>& sinks);
+
   /// Evaluate one scenario on the calling thread (no pool).
   [[nodiscard]] Result evaluate(const Scenario& s, std::size_t index = 0);
   [[nodiscard]] SimResult evaluate_sim(const SimScenario& s,
                                        std::size_t index = 0);
 
-  /// results -> CSV (header + one line per result).
+  /// results -> CSV (header + one line per result), streamed through a
+  /// CsvSink — both result flavors have the FILE* path.
   static void write_csv(std::FILE* out, const std::vector<Result>& results);
+  static void write_csv(std::FILE* out, const std::vector<SimResult>& results);
   [[nodiscard]] static std::string csv(const std::vector<Result>& results);
   [[nodiscard]] static std::string sim_csv(const std::vector<SimResult>& results);
 

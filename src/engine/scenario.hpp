@@ -32,17 +32,29 @@ enum class Kind {
 
 [[nodiscard]] const char* kind_name(Kind k);
 
+/// One simulated workload, shared verbatim by Scenario (kSimulate) and
+/// SimScenario so the two surfaces cannot drift: either a synthetic
+/// traffic-pattern point or an Ember motif.  Motifs are stateful endpoint
+/// machines, so the workload carries a *factory* and every evaluation
+/// builds a fresh instance; a non-null factory selects the motif path.
+struct Workload {
+  sim::Pattern pattern = sim::Pattern::kRandom;
+  double offered_load = 0.5;
+  std::uint32_t nranks = 0;  // 0 = largest power of two <= #endpoints
+  std::uint32_t messages_per_rank = 16;
+  std::uint32_t message_bytes = 4096;
+  sim::PlacementPolicy placement = sim::PlacementPolicy::kRandom;
+  std::function<std::unique_ptr<sim::Motif>()> motif;
+  double motif_compute_ns = 500.0;
+};
+
 struct Scenario {
   std::string topology;  // key registered with the engine's artifact cache
   Kind kind = Kind::kSimulate;
 
   // kSimulate knobs.
   routing::Algo algo = routing::Algo::kMinimal;
-  sim::Pattern pattern = sim::Pattern::kRandom;
-  double offered_load = 0.5;
-  std::uint32_t nranks = 0;  // 0 = largest power of two <= #endpoints
-  std::uint32_t messages_per_rank = 16;
-  std::uint32_t message_bytes = 4096;
+  Workload workload;
   std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
 
   // kStructure knobs.  restarts <= 0 skips the (expensive) bisection so
@@ -114,30 +126,32 @@ struct Result {
 // Simulation-campaign vocabulary.
 
 /// One simulation run: topology x routing x workload x seed.  The workload
-/// is either a synthetic pattern sweep point or an Ember motif.
+/// (the shared Workload description above) is either a synthetic pattern
+/// sweep point or an Ember motif.
 struct SimScenario {
   std::string topology;  // key registered with the engine's artifact cache
   routing::Algo algo = routing::Algo::kMinimal;
-
-  // Synthetic-pattern workload (ignored when `motif` is set).
-  sim::Pattern pattern = sim::Pattern::kRandom;
-  double offered_load = 0.5;
-  std::uint32_t nranks = 0;  // 0 = largest power of two <= #endpoints
-  std::uint32_t messages_per_rank = 16;
-  std::uint32_t message_bytes = 4096;
-  sim::PlacementPolicy placement = sim::PlacementPolicy::kRandom;
-
-  // Ember-motif workload.  Motifs are stateful endpoint machines, so the
-  // scenario carries a factory and every evaluation builds a fresh
-  // instance; non-null selects the motif path over the synthetic one.
-  std::function<std::unique_ptr<sim::Motif>()> motif;
-  double motif_compute_ns = 500.0;
-
+  Workload workload;
   std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
   double failure_fraction = 0.0;  // > 0: seeded link deletion before the run
   std::uint64_t seed = 1;
   std::string label;  // free-form tag echoed into the result
 };
+
+/// The kSimulate slice of a Scenario as a SimScenario — the two carry the
+/// identical Workload, so the conversion is field renaming, not drift.
+[[nodiscard]] inline SimScenario to_sim_scenario(const Scenario& s,
+                                                 std::string label = {}) {
+  SimScenario out;
+  out.topology = s.topology;
+  out.algo = s.algo;
+  out.workload = s.workload;
+  out.vcs = s.vcs;
+  out.failure_fraction = s.failure_fraction;
+  out.seed = s.seed;
+  out.label = std::move(label);
+  return out;
+}
 
 struct SimResult {
   std::size_t index = 0;  // position within the submitted batch

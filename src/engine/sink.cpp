@@ -1,0 +1,286 @@
+#include "engine/sink.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "engine/engine.hpp"
+
+namespace sfly::engine {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// JSON numbers print with enough digits to round-trip a double exactly,
+// so the JSONL stream can serve as a lossless result archive.
+std::string jnum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Topology names legitimately contain commas ("LPS(3,5)"); quote them
+// and the free-text error/label fields per RFC 4180.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* csv_header(bool sim) {
+  return sim
+             ? "index,topology,label,ok,error,diameter,max_latency_ns,"
+               "mean_latency_ns,p99_latency_ns,completion_ns,messages,events,"
+               "packets,wall_ms\n"
+             : "index,topology,kind,ok,error,vertices,radix,connected,diameter,"
+               "mean_hops,girth,bisection,normalized_bisection,lambda,mu1,"
+               "ramanujan,fiedler_bisection_lb,"
+               "max_latency_ns,mean_latency_ns,p99_latency_ns,completion_ns,"
+               "messages,"
+               "mean_wire_m,max_wire_m,wires_electrical,wires_optical,"
+               "power_watts,mw_per_gbps,wall_ms\n";
+}
+
+std::string csv_row(const Result& r) {
+  std::ostringstream out;
+  out << r.index << ',' << quoted(r.topology) << ',' << kind_name(r.kind) << ','
+      << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << r.vertices << ','
+      << r.radix << ',' << (r.connected ? 1 : 0) << ',' << fmt(r.diameter)
+      << ',' << fmt(r.mean_hops) << ',' << r.girth << ',' << fmt(r.bisection)
+      << ',' << fmt(r.normalized_bisection) << ',' << fmt(r.lambda) << ','
+      << fmt(r.mu1) << ',' << (r.ramanujan ? 1 : 0) << ','
+      << fmt(r.fiedler_bisection_lb) << ','
+      << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
+      << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
+      << r.messages << ',' << fmt(r.mean_wire_m) << ',' << fmt(r.max_wire_m)
+      << ',' << r.wires_electrical << ',' << r.wires_optical << ','
+      << fmt(r.power_watts) << ',' << fmt(r.mw_per_gbps) << ','
+      << fmt(r.wall_ms) << '\n';
+  return out.str();
+}
+
+std::string csv_row(const SimResult& r) {
+  std::ostringstream out;
+  out << r.index << ',' << quoted(r.topology) << ',' << quoted(r.label) << ','
+      << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << fmt(r.diameter)
+      << ',' << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
+      << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
+      << r.messages << ',' << r.events << ',' << r.packets << ','
+      << fmt(r.wall_ms) << '\n';
+  return out.str();
+}
+
+std::string jsonl_row(const Result& r) {
+  std::ostringstream out;
+  out << "{\"index\":" << r.index << ",\"topology\":" << json_str(r.topology)
+      << ",\"kind\":\"" << kind_name(r.kind) << '"'
+      << ",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) out << ",\"error\":" << json_str(r.error);
+  out << ",\"vertices\":" << r.vertices << ",\"radix\":" << r.radix
+      << ",\"connected\":" << (r.connected ? "true" : "false")
+      << ",\"diameter\":" << jnum(r.diameter)
+      << ",\"mean_hops\":" << jnum(r.mean_hops) << ",\"girth\":" << r.girth
+      << ",\"bisection\":" << jnum(r.bisection)
+      << ",\"normalized_bisection\":" << jnum(r.normalized_bisection)
+      << ",\"lambda\":" << jnum(r.lambda) << ",\"mu1\":" << jnum(r.mu1)
+      << ",\"ramanujan\":" << (r.ramanujan ? "true" : "false")
+      << ",\"fiedler_bisection_lb\":" << jnum(r.fiedler_bisection_lb)
+      << ",\"max_latency_ns\":" << jnum(r.max_latency_ns)
+      << ",\"mean_latency_ns\":" << jnum(r.mean_latency_ns)
+      << ",\"p99_latency_ns\":" << jnum(r.p99_latency_ns)
+      << ",\"completion_ns\":" << jnum(r.completion_ns)
+      << ",\"messages\":" << r.messages
+      << ",\"mean_wire_m\":" << jnum(r.mean_wire_m)
+      << ",\"max_wire_m\":" << jnum(r.max_wire_m)
+      << ",\"wires_electrical\":" << r.wires_electrical
+      << ",\"wires_optical\":" << r.wires_optical
+      << ",\"power_watts\":" << jnum(r.power_watts)
+      << ",\"mw_per_gbps\":" << jnum(r.mw_per_gbps) << "}\n";
+  return out.str();
+}
+
+std::string jsonl_row(const SimResult& r) {
+  std::ostringstream out;
+  out << "{\"index\":" << r.index << ",\"topology\":" << json_str(r.topology)
+      << ",\"label\":" << json_str(r.label)
+      << ",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) out << ",\"error\":" << json_str(r.error);
+  out << ",\"diameter\":" << jnum(r.diameter)
+      << ",\"max_latency_ns\":" << jnum(r.max_latency_ns)
+      << ",\"mean_latency_ns\":" << jnum(r.mean_latency_ns)
+      << ",\"p99_latency_ns\":" << jnum(r.p99_latency_ns)
+      << ",\"completion_ns\":" << jnum(r.completion_ns)
+      << ",\"messages\":" << r.messages << ",\"events\":" << r.events
+      << ",\"packets\":" << r.packets << "}\n";
+  return out.str();
+}
+
+// --- CollectSink -----------------------------------------------------------
+
+void CollectSink::begin(std::size_t total) {
+  if (results_) results_->reserve(results_->size() + total);
+  if (sim_results_) sim_results_->reserve(sim_results_->size() + total);
+}
+
+void CollectSink::consume(const Result& r) {
+  if (results_) results_->push_back(r);
+}
+
+void CollectSink::consume(const SimResult& r) {
+  if (sim_results_) sim_results_->push_back(r);
+}
+
+// --- CsvSink ---------------------------------------------------------------
+
+void CsvSink::write_row(bool sim, const std::string& row) {
+  const int want = sim ? 2 : 1;
+  if (header_state_ != want) {
+    std::fputs(csv_header(sim), out_);
+    header_state_ = want;
+  }
+  std::fwrite(row.data(), 1, row.size(), out_);
+}
+
+void CsvSink::consume(const Result& r) { write_row(false, csv_row(r)); }
+void CsvSink::consume(const SimResult& r) { write_row(true, csv_row(r)); }
+void CsvSink::end() { std::fflush(out_); }
+
+// --- JsonlSink -------------------------------------------------------------
+
+void JsonlSink::consume(const Result& r) {
+  auto row = jsonl_row(r);
+  std::fwrite(row.data(), 1, row.size(), out_);
+}
+
+void JsonlSink::consume(const SimResult& r) {
+  auto row = jsonl_row(r);
+  std::fwrite(row.data(), 1, row.size(), out_);
+}
+
+void JsonlSink::end() { std::fflush(out_); }
+
+// --- ProgressSink ----------------------------------------------------------
+
+void ProgressSink::begin(std::size_t total) { total_ = total; }
+
+void ProgressSink::line(std::size_t index, const std::string& topology,
+                        const std::string& label, bool ok, double wall_ms) {
+  std::fprintf(out_, "[%zu/%zu] %s%s%s %s %.1f ms\n", index + 1, total_,
+               topology.c_str(), label.empty() ? "" : " ",
+               label.c_str(), ok ? "ok" : "ERR", wall_ms);
+  std::fflush(out_);
+}
+
+void ProgressSink::consume(const Result& r) {
+  line(r.index, r.topology, kind_name(r.kind), r.ok, r.wall_ms);
+}
+
+void ProgressSink::consume(const SimResult& r) {
+  line(r.index, r.topology, r.label, r.ok, r.wall_ms);
+}
+
+// --- TableSink -------------------------------------------------------------
+
+void TableSink::consume(const Result& r) {
+  rows_.push_back(r);
+  rows_.back().placement = {};  // tables never render the embedding
+}
+
+void TableSink::consume(const SimResult& r) { sim_rows_.push_back(r); }
+
+void TableSink::end() {
+  if (!rows_.empty()) {
+    auto text = Engine::to_table(rows_).str();
+    std::fwrite(text.data(), 1, text.size(), out_);
+    rows_.clear();
+  }
+  if (!sim_rows_.empty()) {
+    auto text = Engine::to_table(sim_rows_).str();
+    std::fwrite(text.data(), 1, text.size(), out_);
+    sim_rows_.clear();
+  }
+  std::fflush(out_);
+}
+
+// --- PerfRecordSink --------------------------------------------------------
+
+void PerfRecordSink::consume(const Result& r) {
+  if (!r.ok) return;
+  ++scenarios_ok_;
+  messages_ += r.messages;
+}
+
+void PerfRecordSink::consume(const SimResult& r) {
+  if (!r.ok) return;
+  ++scenarios_ok_;
+  events_ += r.events;
+  packets_ += r.packets;
+  messages_ += r.messages;
+}
+
+void PerfRecordSink::write(const std::string& path, const std::string& campaign,
+                           unsigned threads, double artifact_build_s,
+                           double eval_s) const {
+  const double eps =
+      eval_s > 0 ? static_cast<double>(events_) / eval_s : 0.0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"campaign\": \"%s\",\n"
+               "  \"threads\": %u,\n"
+               "  \"scenarios\": %llu,\n"
+               "  \"artifact_build_s\": %.6f,\n"
+               "  \"eval_s\": %.6f,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"events\": %llu,\n"
+               "  \"packets_forwarded\": %llu,\n"
+               "  \"messages\": %llu,\n"
+               "  \"events_per_sec\": %.1f\n"
+               "}\n",
+               campaign.c_str(), threads,
+               static_cast<unsigned long long>(scenarios_ok_), artifact_build_s,
+               eval_s, artifact_build_s + eval_s,
+               static_cast<unsigned long long>(events_),
+               static_cast<unsigned long long>(packets_),
+               static_cast<unsigned long long>(messages_), eps);
+  std::fclose(f);
+}
+
+}  // namespace sfly::engine

@@ -1,0 +1,154 @@
+#pragma once
+// Streaming result sinks (see DESIGN.md §6).
+//
+// Engine::run_stream / run_sims_stream deliver results to ResultSinks in
+// strict batch order as workers complete them, so a campaign of any size
+// can emit CSV / JSON-lines / progress output with bounded memory — no
+// whole-batch buffer between evaluation and formatting.  Sinks are called
+// from the submitting thread only, one result at a time, and see exactly
+// the same result values at any --threads count (the engine's determinism
+// contract; wall_ms is the only thread-dependent field).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+
+namespace sfly::engine {
+
+/// Consumer of a streamed result batch.  Override the consume overload(s)
+/// for the result type(s) the sink handles; the defaults ignore results
+/// of the other type so one sink class can serve both run_stream and
+/// run_sims_stream.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once before the first result with the batch size.
+  virtual void begin(std::size_t total) { (void)total; }
+  /// Streamed delivery, strictly in batch (index) order.
+  virtual void consume(const Result& r) { (void)r; }
+  virtual void consume(const SimResult& r) { (void)r; }
+  /// Called once after the last result of the batch.
+  virtual void end() {}
+};
+
+// ---------------------------------------------------------------------------
+// Row formatting shared by the sinks and the legacy Engine::csv strings.
+
+[[nodiscard]] const char* csv_header(bool sim);
+[[nodiscard]] std::string csv_row(const Result& r);
+[[nodiscard]] std::string csv_row(const SimResult& r);
+/// One JSON object per result.  wall_ms is deliberately excluded so the
+/// stream is byte-identical at any thread count (CI diffs it at 1 vs 4).
+[[nodiscard]] std::string jsonl_row(const Result& r);
+[[nodiscard]] std::string jsonl_row(const SimResult& r);
+
+// ---------------------------------------------------------------------------
+// Concrete sinks.
+
+/// Collects results into caller-owned vectors (the in-memory terminal
+/// sink Engine::run / run_sims are built on).  Pass only the vector(s)
+/// the batch type needs.
+class CollectSink final : public ResultSink {
+ public:
+  explicit CollectSink(std::vector<Result>* out) : results_(out) {}
+  explicit CollectSink(std::vector<SimResult>* out) : sim_results_(out) {}
+  void begin(std::size_t total) override;
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+
+ private:
+  std::vector<Result>* results_ = nullptr;
+  std::vector<SimResult>* sim_results_ = nullptr;
+};
+
+/// Streams RFC-4180 CSV rows to a FILE* (header emitted lazily when the
+/// first result of a type arrives; re-emitted if the row type switches
+/// mid-stream, e.g. a campaign mixing analytic and simulation phases).
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::FILE* out) : out_(out) {}
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+  void end() override;
+
+ private:
+  void write_row(bool sim, const std::string& row);
+  std::FILE* out_;
+  int header_state_ = 0;  // 0 = none yet, 1 = Result header, 2 = SimResult
+};
+
+/// Streams one JSON object per line per result (wall_ms excluded, so the
+/// output is byte-identical at any thread count).
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::FILE* out) : out_(out) {}
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+  void end() override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// Live per-result progress lines ("[12/96] SpectralFly ok 34.5 ms") —
+/// stderr by default so stdout stays diffable.
+class ProgressSink final : public ResultSink {
+ public:
+  explicit ProgressSink(std::FILE* out = stderr) : out_(out) {}
+  void begin(std::size_t total) override;
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+
+ private:
+  void line(std::size_t index, const std::string& topology,
+            const std::string& label, bool ok, double wall_ms);
+  std::FILE* out_;
+  std::size_t total_ = 0;
+};
+
+/// Buffers results and prints one aligned console table at end() —
+/// column alignment inherently needs the whole batch, so unlike the
+/// other sinks this one holds O(batch) results (minus the heavyweight
+/// layout placement, which is dropped on entry).  Don't attach it to a
+/// campaign too large to hold in memory; stream CSV/JSONL instead.
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(std::FILE* out = stdout) : out_(out) {}
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+  void end() override;
+
+ private:
+  std::FILE* out_;
+  std::vector<Result> rows_;        // trimmed: placement dropped on entry
+  std::vector<SimResult> sim_rows_;
+};
+
+/// Accumulates the campaign-level work counters (simulator events,
+/// packet-hops, messages, ok-scenario count) that feed the BENCH_sim.json
+/// perf record; `write` emits the record after the run.
+class PerfRecordSink final : public ResultSink {
+ public:
+  void consume(const Result& r) override;
+  void consume(const SimResult& r) override;
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t scenarios_ok() const { return scenarios_ok_; }
+
+  /// Write the machine-readable perf record (the BENCH_sim.json format
+  /// guarded by CI's perf smoke stage).  Exits with an error message if
+  /// `path` cannot be opened.
+  void write(const std::string& path, const std::string& campaign,
+             unsigned threads, double artifact_build_s, double eval_s) const;
+
+ private:
+  std::uint64_t events_ = 0, packets_ = 0, messages_ = 0, scenarios_ok_ = 0;
+};
+
+}  // namespace sfly::engine

@@ -1,0 +1,171 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <memory>
+
+namespace sfly::bench {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return v;
+}
+
+Flags::Flags(std::vector<std::string> args, std::vector<FlagSpec> known)
+    : known_(std::move(known)) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const FlagSpec* sp = spec(args[i]);
+    if (!sp) {
+      error_ = "unknown flag '" + args[i] + "' (see --help)";
+      return;
+    }
+    present_.push_back(args[i]);
+    if (sp->takes_value) {
+      const bool next_is_flag =
+          i + 1 < args.size() && args[i + 1].rfind("--", 0) == 0;
+      if (i + 1 >= args.size() || (sp->value_optional && next_is_flag)) {
+        if (!sp->value_optional) {
+          error_ = "flag '" + args[i] + "' expects a value";
+          return;
+        }
+        values_.emplace_back(args[i], "-");  // omitted value = stdout
+        continue;
+      }
+      values_.emplace_back(args[i], args[i + 1]);
+      ++i;
+    }
+  }
+}
+
+const FlagSpec* Flags::spec(const std::string& name) const {
+  for (const auto& sp : known_)
+    if (sp.name == name) return &sp;
+  return nullptr;
+}
+
+bool Flags::has(const std::string& name) const {
+  for (const auto& p : present_)
+    if (p == name) return true;
+  return false;
+}
+
+std::uint64_t Flags::get(const std::string& name, std::uint64_t dflt) const {
+  for (const auto& [flag, value] : values_)
+    if (flag == name) {
+      if (auto v = parse_u64(value)) return *v;
+      std::fprintf(stderr,
+                   "error: %s expects a non-negative number, got '%s'\n",
+                   name.c_str(), value.c_str());
+      std::exit(2);
+    }
+  return dflt;
+}
+
+std::string Flags::get_str(const std::string& name,
+                           const std::string& dflt) const {
+  for (const auto& [flag, value] : values_)
+    if (flag == name) return value;
+  return dflt;
+}
+
+// --- StandardOptions -------------------------------------------------------
+
+namespace {
+
+std::vector<FlagSpec> standard_flags() {
+  return {
+      {"--full", false, "run the exact paper-scale configuration"},
+      {"--threads", true, "engine worker threads (default: all hardware)"},
+      {"--seed", true, "override the campaign base seed"},
+      {"--csv", true,
+       "stream results as CSV to PATH; omitted/'-' = stdout, interleaved "
+       "with the report — use a file path for machine parsing",
+       /*value_optional=*/true},
+      {"--json", true,
+       "stream results as JSON lines to PATH; omitted/'-' = stdout, "
+       "interleaved with the report — use a file path for machine parsing",
+       /*value_optional=*/true},
+      {"--profile", false, "print phase timing (artifact build vs eval)"},
+      {"--progress", false, "per-scenario progress lines on stderr"},
+      {"--dry-run", false, "print the expanded campaign plan and exit"},
+      {"--help", false, "this help"},
+  };
+}
+
+std::vector<std::string> argv_vec(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) out.emplace_back(argv[i]);
+  return out;
+}
+
+std::vector<FlagSpec> merge_flags(std::vector<FlagSpec> extra) {
+  auto all = standard_flags();
+  for (auto& f : extra) all.push_back(std::move(f));
+  return all;
+}
+
+}  // namespace
+
+StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
+    : flags_(argv_vec(argc, argv), merge_flags(std::move(spec.extra_flags))) {
+  if (!flags_.error().empty()) {
+    std::fprintf(stderr, "error: %s\n", flags_.error().c_str());
+    std::exit(2);
+  }
+  if (flags_.has("--help")) {
+    std::printf("# %s\n", spec.banner);
+    for (const auto& f : flags_.known())
+      std::printf("#   %-12s %s%s\n", f.name.c_str(),
+                  f.takes_value ? "<value>  " : "", f.help.c_str());
+    std::exit(0);
+  }
+  // The historical bench banner, byte for byte: headline, the --full
+  // line, then the bench's verbatim extra lines.
+  std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",
+              spec.banner, spec.extra_usage);
+}
+
+StandardOptions::~StandardOptions() {
+  for (std::FILE* f : files_)
+    if (f && f != stdout) std::fclose(f);
+}
+
+engine::EngineConfig StandardOptions::engine_config() const {
+  engine::EngineConfig cfg;
+  cfg.threads = threads();
+  return cfg;
+}
+
+const std::vector<engine::ResultSink*>& StandardOptions::sinks() {
+  if (sinks_built_) return sinks_;
+  sinks_built_ = true;
+  auto open = [&](const std::string& path) -> std::FILE* {
+    if (path == "-") return stdout;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    files_.push_back(f);
+    return f;
+  };
+  if (auto path = flags_.get_str("--csv"); !path.empty()) {
+    owned_.push_back(std::make_unique<engine::CsvSink>(open(path)));
+    sinks_.push_back(owned_.back().get());
+  }
+  if (auto path = flags_.get_str("--json"); !path.empty()) {
+    owned_.push_back(std::make_unique<engine::JsonlSink>(open(path)));
+    sinks_.push_back(owned_.back().get());
+  }
+  if (flags_.has("--progress")) {
+    owned_.push_back(std::make_unique<engine::ProgressSink>());
+    sinks_.push_back(owned_.back().get());
+  }
+  return sinks_;
+}
+
+}  // namespace sfly::bench

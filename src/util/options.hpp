@@ -1,0 +1,105 @@
+#pragma once
+// One options surface for every bench harness (see DESIGN.md §6).
+//
+// Flags is a strict CLI parser: every flag a bench accepts is declared up
+// front, unknown flags and malformed values are errors (exit 2), and
+// numeric values must parse exactly — "12x" is rejected, not truncated
+// to 12.  StandardOptions layers the flag set shared by all benches
+// (--threads/--full/--seed/--csv/--json/--profile/--progress/--dry-run/
+// --help) on top, owns the file-backed streaming sinks those flags
+// select, and prints the bench banner exactly as the harnesses always
+// have.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/sink.hpp"
+
+namespace sfly::bench {
+
+/// Strict full-string parse of a non-negative decimal integer; rejects
+/// empty strings, signs, and trailing garbage ("12x" -> nullopt).
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(const std::string& s);
+
+struct FlagSpec {
+  std::string name;         // "--ranks"
+  bool takes_value = false;
+  std::string help;         // one line for --help
+  /// Value may be omitted (end of argv, or next token is another flag);
+  /// an omitted value records as "-".  Lets `--csv` alone keep meaning
+  /// "CSV to stdout" as it historically did.
+  bool value_optional = false;
+};
+
+class Flags {
+ public:
+  /// Parse `args` (argv[1..]) against the declared flags.  Parse problems
+  /// (unknown flag, missing value) land in error() — callers decide
+  /// whether to exit; StandardOptions does, tests inspect.
+  Flags(std::vector<std::string> args, std::vector<FlagSpec> known);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of a numeric flag; prints an error and exits 2 when the value
+  /// does not parse exactly as a non-negative integer.
+  [[nodiscard]] std::uint64_t get(const std::string& name,
+                                  std::uint64_t dflt) const;
+  [[nodiscard]] std::string get_str(const std::string& name,
+                                    const std::string& dflt = "") const;
+  [[nodiscard]] const std::vector<FlagSpec>& known() const { return known_; }
+
+ private:
+  [[nodiscard]] const FlagSpec* spec(const std::string& name) const;
+  std::vector<FlagSpec> known_;
+  std::vector<std::string> present_;               // flag names seen
+  std::vector<std::pair<std::string, std::string>> values_;  // first wins
+  std::string error_;
+};
+
+/// The shared bench option surface.  Construction parses (exiting on
+/// unknown flags / bad values), prints the bench banner exactly as the
+/// pre-campaign harnesses did, and handles --help.
+class StandardOptions {
+ public:
+  struct Spec {
+    const char* banner = "";       // "Fig. 6: ..." headline
+    const char* extra_usage = "";  // verbatim extra banner lines ("" = none)
+    std::vector<FlagSpec> extra_flags;  // bench-specific flags
+  };
+
+  StandardOptions(int argc, char** argv, Spec spec);
+  ~StandardOptions();
+  StandardOptions(const StandardOptions&) = delete;
+  StandardOptions& operator=(const StandardOptions&) = delete;
+
+  [[nodiscard]] const Flags& flags() const { return flags_; }
+  [[nodiscard]] bool full() const { return flags_.has("--full"); }
+  [[nodiscard]] bool dry_run() const { return flags_.has("--dry-run"); }
+  [[nodiscard]] bool profile() const { return flags_.has("--profile"); }
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(flags_.get("--threads", 0));
+  }
+  /// --seed override, else the bench's default campaign seed.
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t dflt) const {
+    return flags_.get("--seed", dflt);
+  }
+  [[nodiscard]] engine::EngineConfig engine_config() const;
+
+  /// The streaming sinks the flags select: CsvSink for `--csv PATH`,
+  /// JsonlSink for `--json PATH` ("-" = stdout), ProgressSink for
+  /// --progress.  Owned by this object; files close on destruction.
+  [[nodiscard]] const std::vector<engine::ResultSink*>& sinks();
+
+ private:
+  Flags flags_;
+  std::vector<engine::ResultSink*> sinks_;
+  std::vector<std::unique_ptr<engine::ResultSink>> owned_;
+  std::vector<std::FILE*> files_;
+  bool sinks_built_ = false;
+};
+
+}  // namespace sfly::bench

@@ -36,10 +36,10 @@ std::vector<Scenario> mixed_batch() {
     sim.topology = "DF(6)";
     sim.kind = Kind::kSimulate;
     sim.algo = seed == 2 ? routing::Algo::kValiant : routing::Algo::kMinimal;
-    sim.pattern = sim::Pattern::kShuffle;
-    sim.nranks = 64;
-    sim.messages_per_rank = 4;
-    sim.offered_load = 0.4;
+    sim.workload.pattern = sim::Pattern::kShuffle;
+    sim.workload.nranks = 64;
+    sim.workload.messages_per_rank = 4;
+    sim.workload.offered_load = 0.4;
     sim.seed = seed;
     batch.push_back(sim);
 
@@ -151,16 +151,16 @@ std::vector<SimScenario> sim_batch() {
         SimScenario s;
         s.topology = topo;
         s.algo = algo;
-        s.pattern = sim::Pattern::kShuffle;
-        s.offered_load = 0.4;
-        s.nranks = 32;
-        s.messages_per_rank = 4;
+        s.workload.pattern = sim::Pattern::kShuffle;
+        s.workload.offered_load = 0.4;
+        s.workload.nranks = 32;
+        s.workload.messages_per_rank = 4;
         s.seed = seed;
         batch.push_back(std::move(s));
       }
   SimScenario m;
   m.topology = "DF(12)";
-  m.motif = [] { return std::make_unique<sim::FftAllToAll>(4, 4, 1024); };
+  m.workload.motif = [] { return std::make_unique<sim::FftAllToAll>(4, 4, 1024); };
   m.seed = 7;
   batch.push_back(std::move(m));
   return batch;
@@ -211,10 +211,10 @@ TEST(Engine, SimScenarioMatchesDirectNetworkRun) {
   SimScenario s;
   s.topology = "Paley(13)";
   s.algo = routing::Algo::kUgalL;
-  s.pattern = sim::Pattern::kShuffle;
-  s.offered_load = 0.5;
-  s.nranks = 32;
-  s.messages_per_rank = 8;
+  s.workload.pattern = sim::Pattern::kShuffle;
+  s.workload.offered_load = 0.5;
+  s.workload.nranks = 32;
+  s.workload.messages_per_rank = 8;
   s.seed = 42;
   auto engine_result = make_sim_engine(2)->run_sims({s});
   ASSERT_TRUE(engine_result[0].ok) << engine_result[0].error;
@@ -246,18 +246,18 @@ TEST(Engine, ScenarioKindSimulateDelegatesToSimPath) {
   legacy.topology = "DF(12)";
   legacy.kind = Kind::kSimulate;
   legacy.algo = routing::Algo::kMinimal;
-  legacy.pattern = sim::Pattern::kTranspose;
-  legacy.offered_load = 0.3;
-  legacy.nranks = 64;
-  legacy.messages_per_rank = 4;
+  legacy.workload.pattern = sim::Pattern::kTranspose;
+  legacy.workload.offered_load = 0.3;
+  legacy.workload.nranks = 64;
+  legacy.workload.messages_per_rank = 4;
   legacy.seed = 9;
   SimScenario ss;
   ss.topology = "DF(12)";
   ss.algo = routing::Algo::kMinimal;
-  ss.pattern = sim::Pattern::kTranspose;
-  ss.offered_load = 0.3;
-  ss.nranks = 64;
-  ss.messages_per_rank = 4;
+  ss.workload.pattern = sim::Pattern::kTranspose;
+  ss.workload.offered_load = 0.3;
+  ss.workload.nranks = 64;
+  ss.workload.messages_per_rank = 4;
   ss.seed = 9;
   auto a = eng->run({legacy});
   auto b = eng->run_sims({ss});
@@ -322,8 +322,8 @@ TEST(Engine, PaperVcSizingAppliedWhenVcsZero) {
   s.topology = "LPS(3,5)";
   s.kind = Kind::kSimulate;
   s.algo = routing::Algo::kValiant;
-  s.nranks = 128;
-  s.messages_per_rank = 2;
+  s.workload.nranks = 128;
+  s.workload.messages_per_rank = 2;
   s.seed = 5;
   auto r = eng.run({s});
   ASSERT_TRUE(r[0].ok) << r[0].error;
