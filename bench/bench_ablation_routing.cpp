@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
         vc.vc_overrides(vc_points).each(base_knobs);
         return vc;
       });
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
 
   std::printf("== Routing-scheme ablation (max message time, %s pattern) ==\n",
               sim::pattern_name(sim::Pattern::kShuffle));

@@ -71,7 +71,9 @@ int main(int argc, char** argv) {
     camp.analytic("bisector restarts", std::move(grid));
   }
 
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
 
   {
     const auto& results = camp.phase("DF arrangement").results();

@@ -105,23 +105,148 @@ inline std::vector<double> load_points() {
 // ---------------------------------------------------------------------
 // Campaign orchestration shared by every bench.
 
-/// The standard campaign tail: print the plan and stop under --dry-run;
-/// otherwise materialize artifacts when phase timing is being recorded
-/// (--profile, or `materialize` forced by a perf-record flag), then run
-/// every phase with the options' sinks plus any bench-specific `extra`
-/// sinks.  Returns false when the bench should exit (dry run).
-inline bool run_campaign(engine::Campaign& camp, StandardOptions& opts,
-                         const std::vector<engine::ResultSink*>& extra = {},
-                         bool materialize = false) {
-  if (opts.dry_run()) {
-    camp.print_plan();
-    return false;
+/// How a campaign invocation ended.  Only kDone leaves complete result
+/// vectors behind — a bench prints its report tables only then.
+enum class RunStatus {
+  kDryRun,    ///< --dry-run: plan printed, nothing evaluated
+  kDone,      ///< every scenario ran (or replayed); report away
+  kSharded,   ///< this shard's slice ran; the merged journal is the output
+  kStopped,   ///< --max-seconds fired; journal resumable, exit 75
+};
+
+/// Process exit code for a non-kDone status: 75 (EX_TEMPFAIL — try
+/// again, i.e. `--resume`) for a budget stop, 0 otherwise.
+[[nodiscard]] inline int exit_code(RunStatus st) {
+  return st == RunStatus::kStopped ? 75 : 0;
+}
+
+/// One row of the --phase-json record.
+struct PhaseStat {
+  std::string name;
+  std::size_t scenarios = 0;
+  double eval_s = 0.0;
+};
+
+/// Write the per-phase wall-clock record (the BENCH_full.json per-bench
+/// format): campaign identity, shard/resume accounting, and one entry
+/// per phase.  Used by `--phase-json`, and committed as BENCH_full.json
+/// for the paper-scale `--full` runs.
+inline void write_phase_record(const std::string& path,
+                               const std::string& campaign,
+                               const StandardOptions& opts,
+                               const engine::RunControl& ctl,
+                               const std::vector<PhaseStat>& phases,
+                               double artifact_build_s) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
   }
-  if (opts.profile() || materialize) camp.materialize_artifacts();
+  double eval_s = 0.0;
+  std::size_t total = 0;
+  for (const auto& ph : phases) {
+    eval_s += ph.eval_s;
+    total += ph.scenarios;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"campaign\": \"%s\",\n"
+               "  \"threads\": %u,\n"
+               "  \"full\": %s,\n"
+               "  \"shard\": [%zu, %zu],\n"
+               "  \"scenarios_total\": %zu,\n"
+               "  \"replayed\": %zu,\n"
+               "  \"evaluated\": %zu,\n"
+               "  \"stopped\": %s,\n"
+               "  \"artifact_build_s\": %.3f,\n"
+               "  \"eval_s\": %.3f,\n"
+               "  \"wall_s\": %.3f,\n"
+               "  \"phases\": [",
+               campaign.c_str(), opts.threads(), opts.full() ? "true" : "false",
+               ctl.shard_index, ctl.shard_count, total, ctl.replayed,
+               ctl.evaluated, ctl.stopped ? "true" : "false",
+               artifact_build_s, eval_s, artifact_build_s + eval_s);
+  for (std::size_t i = 0; i < phases.size(); ++i)
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"scenarios\": %zu, "
+                    "\"eval_s\": %.3f}",
+                 i ? "," : "", phases[i].name.c_str(), phases[i].scenarios,
+                 phases[i].eval_s);
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+/// The shared post-run epilogue for Campaign and AdaptiveSweep paths:
+/// replay notice, budget-stop message (returns kStopped), and — on
+/// completion — the unconsumed-journal hard error (a resume whose early
+/// batches coincided with a different-flags journal must never exit 0
+/// over a franken-journal).  `replayed_before` carries the RunControl's
+/// replay count from before this run for multi-sweep benches.
+inline RunStatus finish_run(const engine::RunControl& ctl, bool final_run,
+                            std::size_t replayed_before = 0) {
+  if (ctl.replayed > replayed_before)
+    std::fprintf(stderr, "# resume: replayed %zu journaled scenario(s), "
+                         "evaluated %zu\n",
+                 ctl.replayed - replayed_before, ctl.evaluated);
+  if (ctl.stopped) {
+    std::fprintf(stderr, "# --max-seconds budget reached: journal is "
+                         "resumable with --resume (exit 75)\n");
+    return RunStatus::kStopped;
+  }
+  if (final_run && ctl.unconsumed_segments() > 0) {
+    std::fprintf(stderr,
+                 "error: resume journal holds %zu batch segment(s) this run "
+                 "never declared — it was written under different flags, and "
+                 "fresh rows have been appended after the stale tail; delete "
+                 "the journal or rerun with the original flags\n",
+                 ctl.unconsumed_segments());
+    std::exit(2);
+  }
+  return RunStatus::kDone;
+}
+
+/// Execute a declared campaign under the options' RunControl (resume /
+/// shard / wall-clock budget) with the options' sinks plus `extra`,
+/// then write the --phase-json record when asked.  No --dry-run
+/// handling — benches that print between plan and run call this
+/// directly; everyone else goes through run_campaign().
+inline RunStatus execute_campaign(
+    engine::Campaign& camp, StandardOptions& opts,
+    const std::vector<engine::ResultSink*>& extra = {}) {
   auto sinks = opts.sinks();
   sinks.insert(sinks.end(), extra.begin(), extra.end());
-  camp.run(sinks);
-  return true;
+  engine::RunControl& ctl = opts.run_control();
+  try {
+    camp.run(sinks, ctl);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+  if (const auto path = opts.phase_json_path(); !path.empty()) {
+    std::vector<PhaseStat> stats;
+    for (const auto& ph : camp.phases())
+      stats.push_back({ph->name(), ph->size(), ph->eval_seconds()});
+    write_phase_record(path, camp.name(), opts, ctl, stats,
+                       camp.artifact_build_seconds());
+  }
+  const RunStatus st = finish_run(ctl, /*final_run=*/true);
+  if (st == RunStatus::kDone && opts.shard().second > 1)
+    return RunStatus::kSharded;
+  return st;
+}
+
+/// The standard campaign tail: print the plan and stop under --dry-run;
+/// otherwise materialize artifacts when phase timing is being recorded
+/// (--profile, or `materialize` forced by a perf-record flag), then
+/// execute under the options' RunControl.
+inline RunStatus run_campaign(engine::Campaign& camp, StandardOptions& opts,
+                              const std::vector<engine::ResultSink*>& extra = {},
+                              bool materialize = false) {
+  if (opts.dry_run()) {
+    camp.print_plan();
+    return RunStatus::kDryRun;
+  }
+  if (opts.profile() || materialize) camp.materialize_artifacts();
+  return execute_campaign(camp, opts, extra);
 }
 
 /// The uniform --profile epilogue (phase timing: one-off artifact build

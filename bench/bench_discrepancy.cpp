@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
 
   // --- job-placement sensitivity (campaign-backed) ---------------------
   {
-    camp.run(opts.sinks());
+    if (const auto st = bench::execute_campaign(camp, opts);
+        st != bench::RunStatus::kDone)
+      return bench::exit_code(st);
     Table t({"Topology", "Random placement (us)", "Clustered placement (us)",
              "Clustered/Random"});
     for (std::size_t i = 0; i < topos.size(); ++i) {

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
                                      st.bisection_restarts = 3;
                                      st.seed = seed;
                                    }));
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
   const auto& results = phase.results();
 
   Table t({"Topology", "Routers", "Radix", "Cut (links)", "Fiedler LB",

@@ -113,7 +113,9 @@ int main(int argc, char** argv) {
   // --- upper-right: normalized bisection bandwidth of LPS ---------------
   {
     if (opts.profile()) camp.materialize_artifacts();
-    camp.run(opts.sinks());
+    if (const auto st = bench::execute_campaign(camp, opts);
+        st != bench::RunStatus::kDone)
+      return bench::exit_code(st);
     auto& phase = camp.phase("bisection");
     const auto& chosen = phase.grid().topology_specs();
     const auto& results = phase.results();

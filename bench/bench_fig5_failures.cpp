@@ -27,9 +27,10 @@ struct Subject {
   std::function<Graph()> build;
 };
 
-void sweep(engine::Engine& eng, bench::StandardOptions& opts,
-           const std::vector<Subject>& subjects,
-           const std::vector<double>& fractions, std::uint64_t max_trials) {
+bench::RunStatus sweep(engine::Engine& eng, bench::StandardOptions& opts,
+                       const char* name, const std::vector<Subject>& subjects,
+                       const std::vector<double>& fractions,
+                       std::uint64_t max_trials, bench::PhaseStat& stat) {
   std::vector<engine::TopologySpec> specs;
   for (const auto& s : subjects) specs.push_back({s.name, s.build});
 
@@ -43,14 +44,30 @@ void sweep(engine::Engine& eng, bench::StandardOptions& opts,
   // sampling, bisection), so per-trial numbers differ from the old
   // output; only the statistics are comparable.
   engine::AdaptiveSweep::Config cfg;
+  cfg.name = name;  // the journal identity of this size class's waves
   cfg.max_trials = max_trials;
   cfg.seed_base = opts.seed_or(9177);
   engine::AdaptiveSweep sweep(eng, std::move(points), cfg);
   if (opts.dry_run()) {
     sweep.print_plan();
-    return;
+    return bench::RunStatus::kDryRun;
   }
-  sweep.run(opts.sinks());
+  engine::RunControl& ctl = opts.run_control();
+  const std::size_t replayed_before = ctl.replayed;
+  try {
+    sweep.run(opts.sinks(), ctl);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+  std::size_t trials = 0;
+  for (const auto& p : sweep.points()) trials += p.scheduled;
+  stat = {name, trials, sweep.eval_seconds()};
+  // Shared stop/replay epilogue; the unconsumed-journal check runs once
+  // in main after the last sweep, not per size class.
+  if (bench::finish_run(ctl, /*final_run=*/false, replayed_before) ==
+      bench::RunStatus::kStopped)
+    return bench::RunStatus::kStopped;
 
   Table t({"Topology", "Fail frac", "Diameter", "Mean hops", "Bisection BW",
            "Trials"});
@@ -80,6 +97,7 @@ void sweep(engine::Engine& eng, bench::StandardOptions& opts,
     t.add_row({"---"});
   }
   t.print();
+  return bench::RunStatus::kDone;
 }
 
 }  // namespace
@@ -94,8 +112,14 @@ int main(int argc, char** argv) {
        {{"--trials", true, "trials per point (default 10; --full = 100)"}}});
   const std::uint64_t max_trials = std::max<std::uint64_t>(
       1, opts.flags().get("--trials", opts.full() ? 100 : 10));
+  if (opts.shard().second > 1) {
+    std::fprintf(stderr, "error: --shard is not supported here: adaptive "
+                         "trial scheduling needs every point's results\n");
+    return 2;
+  }
 
   engine::Engine eng(opts.engine_config());
+  std::vector<bench::PhaseStat> stats(1);
 
   std::printf("== ~600-router class ==\n");
   std::vector<Subject> small;
@@ -109,7 +133,21 @@ int main(int argc, char** argv) {
                      return topo::dragonfly_graph(
                          topo::DragonFlyParams::canonical(24));
                    }});
-  sweep(eng, opts, small, {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}, max_trials);
+  // Written on completion AND on a budget stop (with stopped:true), so
+  // tooling sees the same --phase-json behavior as campaign benches.
+  auto record = [&] {
+    if (const auto path = opts.phase_json_path();
+        !path.empty() && !opts.dry_run())
+      bench::write_phase_record(path, "fig5_failures", opts,
+                                opts.run_control(), stats, 0.0);
+  };
+  if (const auto st = sweep(eng, opts, "fig5_small", small,
+                            {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}, max_trials,
+                            stats[0]);
+      st == bench::RunStatus::kStopped) {
+    record();
+    return bench::exit_code(st);
+  }
   if (!opts.dry_run())
     std::printf(
         "\n# Paper shape: SlimFly's diameter-2 is fragile (jumps to 4 at 10%%\n"
@@ -129,7 +167,18 @@ int main(int argc, char** argv) {
                        return topo::dragonfly_graph(
                            topo::DragonFlyParams::canonical(69));
                      }});
-    sweep(eng, opts, large, {0.0, 0.2, 0.4, 0.6, 0.8}, max_trials);
+    stats.emplace_back();
+    if (const auto st = sweep(eng, opts, "fig5_full", large,
+                              {0.0, 0.2, 0.4, 0.6, 0.8}, max_trials,
+                              stats.back());
+        st == bench::RunStatus::kStopped) {
+      record();
+      return bench::exit_code(st);
+    }
   }
+  record();
+  if (!opts.dry_run())  // completed: a journal tail we never declared is fatal
+    (void)bench::finish_run(opts.run_control(), /*final_run=*/true,
+                            opts.run_control().replayed);
   return 0;
 }

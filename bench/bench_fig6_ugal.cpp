@@ -50,9 +50,14 @@ int main(int argc, char** argv) {
   engine::PerfRecordSink perf;
   std::vector<engine::ResultSink*> extra;
   if (!bench_json.empty()) extra.push_back(&perf);
-  if (!bench::run_campaign(camp, opts, extra,
-                           /*materialize=*/!bench_json.empty()))
-    return 0;
+  const auto st = bench::run_campaign(camp, opts, extra,
+                                      /*materialize=*/!bench_json.empty());
+  if (st != bench::RunStatus::kDone) {
+    if (st != bench::RunStatus::kDryRun && !bench_json.empty())
+      perf.write(bench_json, "fig6_ugal", opts.threads(),
+                 camp.artifact_build_seconds(), camp.eval_seconds());
+    return bench::exit_code(st);
+  }
 
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     std::printf("== Fig. 6 (%s), UGAL-L, speedup vs DragonFly ==\n",

@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
         s.seed = seed;
       });
   auto& sweep = camp.sims("sweep", std::move(grid));
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
 
   std::printf("== Fig. 7 (random), minimal routing, speedup vs DragonFly ==\n");
   bench::speedup_table(sweep, 0, loads, topos).print();

@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
         s.seed = seed;
       });
   auto& sweep = camp.sims("sweep", std::move(grid));
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
 
   Table t({"Offered load", "random", "bit-shuffle", "bit-reverse", "transpose"});
   for (std::size_t li = 0; li < loads.size(); ++li) {

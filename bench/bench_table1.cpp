@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
                                                    st.bisection_restarts = 0;
                                                    st.want_girth = true;
                                                  }));
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
   const auto& results = phase.results();
 
   Table table({"Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth",

@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
   grid.proto().seed = opts.seed_or(17);
   grid.topologies(std::move(specs));
   auto& phase = camp.analytic("layouts", std::move(grid));
-  if (!bench::run_campaign(camp, opts)) return 0;
+  if (const auto st = bench::run_campaign(camp, opts);
+      st != bench::RunStatus::kDone)
+    return bench::exit_code(st);
   const auto& results = phase.results();
 
   Table t({"Topology", "Routers", "Radix", "Avg wire m (SkyWalk)",

@@ -63,7 +63,8 @@ inline int run_ember(int argc, char** argv, routing::Algo algo, const char* what
         s.seed = seed;
       });
   auto& sweep = camp.sims("motifs", std::move(grid));
-  if (!run_campaign(camp, opts)) return 0;
+  if (const auto st = run_campaign(camp, opts); st != RunStatus::kDone)
+    return exit_code(st);
 
   Table t({"Motif", "Ranks", "SpectralFly", "SlimFly", "BundleFly",
            "DragonFly (baseline)"});

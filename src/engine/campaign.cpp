@@ -7,11 +7,123 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/journal.hpp"
 #include "engine/sink.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace sfly::engine {
+
+namespace {
+
+// The journal segment covering the upcoming batch, or nullptr when the
+// journal is exhausted (the batch runs fresh).  Advances ctl's cursor.
+// Any disagreement between journal and declaration is a hard error: a
+// wrong resume must never silently produce a franken-journal.
+const CampaignJournal::Segment* consume_segment(RunControl& ctl,
+                                                const BatchMeta& expect) {
+  if (!ctl.journal || ctl.journal_cursor >= ctl.journal->segments().size())
+    return nullptr;
+  const auto& seg = ctl.journal->segments()[ctl.journal_cursor];
+  if (seg.meta.batch != expect.batch ||
+      seg.meta.campaign != expect.campaign ||
+      seg.meta.scenarios != expect.scenarios ||
+      seg.meta.shard_index != expect.shard_index ||
+      seg.meta.shard_count != expect.shard_count ||
+      seg.meta.rows != expect.rows || seg.meta.decl != expect.decl)
+    throw std::runtime_error(
+        "resume: journal batch '" + seg.meta.campaign + "/" + seg.meta.batch +
+        "' does not match the declared batch '" + expect.campaign + "/" +
+        expect.batch + "' — was the journal written by this bench at these "
+        "flags (scale, seed, shard)?");
+  if (seg.rows.size() > expect.rows)
+    throw std::runtime_error("resume: journal batch '" + expect.batch +
+                             "' holds more rows than the batch declares");
+  if (seg.rows.size() < expect.rows &&
+      ctl.journal_cursor + 1 < ctl.journal->segments().size())
+    throw std::runtime_error("resume: incomplete batch '" + expect.batch +
+                             "' is not the journal tail — corrupt journal");
+  ++ctl.journal_cursor;
+  return &seg;
+}
+
+[[noreturn]] void replay_mismatch(const BatchMeta& m, std::size_t index) {
+  throw std::runtime_error(
+      "resume: journal row " + std::to_string(index) + " of batch '" +
+      m.batch + "' does not match the expanded scenario at that position");
+}
+
+// FNV-1a fold of every scenario knob into the batch fingerprint carried
+// by the journal's batch headers: two declarations that expand to the
+// same *shape* but different scenarios (a changed --seed, workload, VC
+// rule, ...) must never share a header, or a resume would splice stale
+// rows in silently.
+struct DeclHash {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& s) {
+    bytes(s.data(), s.size());
+    bytes("\0", 1);  // length marker: ("ab","c") != ("a","bc")
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }  // bit pattern
+  void workload(const Workload& w) {
+    u64(static_cast<std::uint64_t>(w.pattern));
+    f64(w.offered_load);
+    u64(w.nranks);
+    u64(w.messages_per_rank);
+    u64(w.message_bytes);
+    u64(static_cast<std::uint64_t>(w.placement));
+    u64(w.motif ? 1 : 0);  // factories can't hash; the label axis does
+    f64(w.motif_compute_ns);
+  }
+};
+
+std::uint64_t decl_hash(const std::vector<Scenario>& batch) {
+  DeclHash d;
+  for (const auto& s : batch) {
+    d.str(s.topology);
+    d.u64(static_cast<std::uint64_t>(s.kind));
+    d.u64(static_cast<std::uint64_t>(s.algo));
+    d.workload(s.workload);
+    d.u64(s.vcs);
+    d.u64(static_cast<std::uint64_t>(s.bisection_restarts));
+    d.u64(s.want_distances ? 1 : 0);
+    d.u64(s.want_girth ? 1 : 0);
+    d.u64(static_cast<std::uint64_t>(s.layout_em_rounds));
+    d.u64(static_cast<std::uint64_t>(s.layout_swap_passes));
+    d.f64(s.failure_fraction);
+    d.u64(s.seed);
+  }
+  return d.h;
+}
+
+std::uint64_t decl_hash(const std::vector<SimScenario>& batch) {
+  DeclHash d;
+  for (const auto& s : batch) {
+    d.str(s.topology);
+    d.u64(static_cast<std::uint64_t>(s.algo));
+    d.workload(s.workload);
+    d.u64(s.vcs);
+    d.f64(s.failure_fraction);
+    d.u64(s.seed);
+    d.str(s.label);
+  }
+  return d.h;
+}
+
+}  // namespace
+
+std::size_t RunControl::unconsumed_segments() const {
+  if (!journal || journal_cursor >= journal->segments().size()) return 0;
+  return journal->segments().size() - journal_cursor;
+}
 
 // --- CampaignBuilder -------------------------------------------------------
 
@@ -387,28 +499,103 @@ double Campaign::materialize_artifacts() {
 }
 
 void Campaign::run(const std::vector<ResultSink*>& sinks) {
+  RunControl ctl;
+  run(sinks, ctl);
+}
+
+void Campaign::run(const std::vector<ResultSink*>& sinks, RunControl& ctl) {
   for (auto& ph : phases_) {
+    // Between-phase budget gate.  The evaluated>0 guard guarantees every
+    // invocation makes progress, so a resume loop converges even when
+    // the budget is smaller than a single batch's cost.
+    if (ctl.evaluated > 0 && ctl.over_budget()) {
+      ctl.stopped = true;
+      return;
+    }
     if (ph->deferred()) {
       ph->grid_ = ph->make_(eng_);
       ph->grid_.register_with(eng_);
       ph->expand_into_batches();
       ph->make_ = nullptr;  // materialized: size() now reports the real count
     }
+    const std::size_t n = ph->size();
+    const auto [lo, hi] = shard_range(n, ctl.shard_index, ctl.shard_count);
+    BatchMeta m;
+    m.campaign = name_;
+    m.batch = ph->name();
+    m.scenarios = n;
+    m.shard_index = ctl.shard_index;
+    m.shard_count = ctl.shard_count;
+    m.rows = hi - lo;
+    m.decl = ph->is_sim() ? decl_hash(ph->sims_) : decl_hash(ph->scenarios_);
+    const CampaignJournal::Segment* seg = consume_segment(ctl, m);
+    const std::size_t have = seg ? seg->rows.size() : 0;
+    // A journaled batch already carries its header; only fresh batches
+    // announce themselves (the JsonlSink turns this into the journal's
+    // batch header line).
+    if (!seg)
+      for (auto* s : sinks) s->meta(m);
+
+    Engine::StreamOptions so;
+    so.index_base = lo + have;
+    so.stop_after = [&ctl] { return ctl.over_budget(); };
     const auto t0 = std::chrono::steady_clock::now();
+    std::size_t delivered = 0, live = 0;
     if (ph->is_sim()) {
       CollectSink collect(&ph->sim_results_);
+      for (std::size_t k = 0; k < have; ++k) {
+        const auto& row = seg->rows[k];
+        const SimScenario& sc = ph->sims_[lo + k];
+        if (!row.sim || row.sim_result.index != lo + k ||
+            row.sim_result.topology != sc.topology ||
+            row.sim_result.label != sc.label)
+          replay_mismatch(m, lo + k);
+        collect.consume(row.sim_result);
+        for (auto* s : sinks)
+          if (s->wants_replay()) s->consume(row.sim_result);
+      }
+      std::vector<SimScenario> rest(ph->sims_.begin() + (lo + have),
+                                    ph->sims_.begin() + hi);
+      live = rest.size();
       std::vector<ResultSink*> all{&collect};
       all.insert(all.end(), sinks.begin(), sinks.end());
-      eng_.run_sims_stream(ph->sims_, all);
+      delivered = eng_.run_sims_stream(rest, all, so);
     } else {
       CollectSink collect(&ph->results_);
+      for (std::size_t k = 0; k < have; ++k) {
+        const auto& row = seg->rows[k];
+        if (row.sim || row.result.index != lo + k ||
+            row.result.topology != ph->scenarios_[lo + k].topology ||
+            row.result.kind != ph->scenarios_[lo + k].kind)
+          replay_mismatch(m, lo + k);
+        // The journal cannot reconstruct a layout row's placement (it is
+        // never serialized), and benches consume placements from the
+        // collected results — refuse rather than replay a hollow row.
+        if (row.result.kind == Kind::kLayout)
+          throw std::runtime_error(
+              "resume: batch '" + m.batch + "' holds layout rows, whose "
+              "placements are not journaled — layout phases cannot be "
+              "resumed; rerun this campaign from scratch");
+        collect.consume(row.result);
+        for (auto* s : sinks)
+          if (s->wants_replay()) s->consume(row.result);
+      }
+      std::vector<Scenario> rest(ph->scenarios_.begin() + (lo + have),
+                                 ph->scenarios_.begin() + hi);
+      live = rest.size();
       std::vector<ResultSink*> all{&collect};
       all.insert(all.end(), sinks.begin(), sinks.end());
-      eng_.run_stream(ph->scenarios_, all);
+      delivered = eng_.run_stream(rest, all, so);
     }
-    ph->eval_seconds_ =
+    ctl.replayed += have;
+    ctl.evaluated += delivered;
+    ph->eval_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (delivered < live) {  // budget fired mid-batch: clean prefix on disk
+      ctl.stopped = true;
+      return;
+    }
   }
 }
 
@@ -466,11 +653,27 @@ AdaptiveSweep::AdaptiveSweep(Engine& eng, CampaignBuilder points, Config cfg)
 }
 
 void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks) {
+  RunControl ctl;
+  run(sinks, ctl);
+}
+
+void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks,
+                        RunControl& ctl) {
   // Waves: every unconverged point contributes its next block of trials
   // (up to the next CoV checkpoint — 10, 100, 1000, ... — capped at its
   // trial budget), the whole wave runs as one streamed batch, and the
-  // CoV rule retires points between waves.
+  // CoV rule retires points between waves.  Wave composition is a pure
+  // function of prior results, and journal rows replay those results
+  // bitwise — so a resumed sweep reconstructs the identical schedule.
+  if (ctl.shard_count > 1)
+    throw std::runtime_error(
+        "adaptive sweeps cannot be sharded: the wave schedule depends on "
+        "every point's trials, which no single shard holds");
   while (true) {
+    if (ctl.evaluated > 0 && ctl.over_budget()) {
+      ctl.stopped = true;
+      return;
+    }
     std::vector<Scenario> batch;
     std::vector<std::pair<std::size_t, std::size_t>> slots;  // (point, trial)
     for (std::size_t pi = 0; pi < points_.size(); ++pi) {
@@ -489,12 +692,45 @@ void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks) {
       p.scheduled = target;
     }
     if (batch.empty()) break;
+    ++waves_;
+
+    BatchMeta m;
+    m.campaign = cfg_.name;
+    m.batch = "wave" + std::to_string(waves_);
+    m.scenarios = batch.size();
+    m.rows = batch.size();
+    m.decl = decl_hash(batch);
+    const CampaignJournal::Segment* seg = consume_segment(ctl, m);
+    const std::size_t have = seg ? seg->rows.size() : 0;
+    if (!seg)
+      for (auto* s : sinks) s->meta(m);
 
     std::vector<Result> results;
+    results.reserve(batch.size());
+    for (std::size_t k = 0; k < have; ++k) {
+      const auto& row = seg->rows[k];
+      if (row.sim || row.result.index != k ||
+          row.result.topology != batch[k].topology)
+        replay_mismatch(m, k);
+      results.push_back(row.result);
+      for (auto* s : sinks)
+        if (s->wants_replay()) s->consume(row.result);
+    }
+    ctl.replayed += have;
+
+    Engine::StreamOptions so;
+    so.index_base = have;
+    so.stop_after = [&ctl] { return ctl.over_budget(); };
+    std::vector<Scenario> rest(batch.begin() + have, batch.end());
     CollectSink collect(&results);
     std::vector<ResultSink*> all{&collect};
     all.insert(all.end(), sinks.begin(), sinks.end());
-    eng_.run_stream(batch, all);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t delivered = eng_.run_stream(rest, all, so);
+    ctl.evaluated += delivered;
+    eval_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
     for (std::size_t i = 0; i < results.size(); ++i) {
       PointState& p = points_[slots[i].first];
@@ -503,6 +739,10 @@ void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks) {
         p.kept.push_back(r);
         p.metric_vals.push_back(cfg_.metric(r));
       }
+    }
+    if (have + delivered < batch.size()) {  // budget fired mid-wave
+      ctl.stopped = true;
+      return;
     }
     for (PointState& p : points_) {
       if (p.converged) continue;

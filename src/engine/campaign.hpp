@@ -1,21 +1,29 @@
 #pragma once
-// Declarative campaign layer (see DESIGN.md §6).
-//
-// The paper's evaluation is a grid of sweeps — topology x routing x
-// traffic x failure x seed.  A CampaignBuilder *declares* the sweep axes
-// (in nesting order: the first declared axis is the outermost loop) plus
-// per-axis filters and per-point hooks, and the engine owns expansion
-// into Scenario / SimScenario batches: no bench hand-rolls nested loops.
-// A Campaign strings named phases (grids) over one Engine, supports
-// dry-run planning (scenario counts, axis shapes, artifact builds —
-// nothing is evaluated), and executes phases through the engine's
-// streaming sinks.  AdaptiveSweep adds the Fig. 5 shape: a point grid
-// whose per-point trial count is scheduled in waves under the paper's
-// CoV stopping rule.
-//
-// Determinism: expansion is a pure function of the declaration, and
-// execution inherits the engine's serial==parallel bitwise contract.
+/// \file campaign.hpp
+/// Declarative campaign layer (see DESIGN.md §6 and docs/CAMPAIGNS.md).
+///
+/// The paper's evaluation is a grid of sweeps — topology x routing x
+/// traffic x failure x seed.  A CampaignBuilder *declares* the sweep axes
+/// (in nesting order: the first declared axis is the outermost loop) plus
+/// per-axis filters and per-point hooks, and the engine owns expansion
+/// into Scenario / SimScenario batches: no bench hand-rolls nested loops.
+/// A Campaign strings named phases (grids) over one Engine, supports
+/// dry-run planning (scenario counts, axis shapes, artifact builds —
+/// nothing is evaluated), and executes phases through the engine's
+/// streaming sinks.  AdaptiveSweep adds the Fig. 5 shape: a point grid
+/// whose per-point trial count is scheduled in waves under the paper's
+/// CoV stopping rule.
+///
+/// Execution takes an optional RunControl — the checkpoint/restart
+/// surface: resume from a `--json` journal (engine/journal.hpp), run
+/// one `--shard I/N` slice of every batch, stop gracefully on a
+/// `--max-seconds` wall-clock budget.
+///
+/// Determinism: expansion is a pure function of the declaration, and
+/// execution inherits the engine's serial==parallel bitwise contract —
+/// which extends across kill/resume cycles and shard splits.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -27,6 +35,58 @@
 #include "engine/scenario.hpp"
 
 namespace sfly::engine {
+
+class CampaignJournal;
+
+/// Execution controls + outcome for Campaign::run / AdaptiveSweep::run —
+/// the checkpoint/restart surface behind `--resume`, `--shard` and
+/// `--max-seconds` (see docs/CAMPAIGNS.md §Resume).  One RunControl can
+/// span several campaigns/sweeps in a process (e.g. fig5's two size
+/// classes): the journal cursor and the wall-clock budget carry across.
+struct RunControl {
+  RunControl() : start(std::chrono::steady_clock::now()) {}
+
+  /// Journal of a previous (killed or budget-stopped) run over the SAME
+  /// declaration: rows are consumed positionally, validated against the
+  /// expanded scenarios, replayed into collecting sinks, and skipped by
+  /// the evaluator.  Null = fresh run.
+  const CampaignJournal* journal = nullptr;
+  /// Shard `shard_index` of `shard_count`: each batch is restricted to
+  /// its contiguous shard_range() slice (rows keep their full-batch
+  /// indices).  Shard journals merge back to the unsharded byte stream
+  /// with CampaignJournal::merge.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Wall-clock budget in seconds, measured from `start`; 0 = unlimited.
+  /// When exceeded, in-flight scenarios drain, sinks flush, and run()
+  /// returns with `stopped` set — the journal ends on a clean batch
+  /// prefix a later `--resume` continues from.  Every invocation makes
+  /// progress (at least one submission window) even under a tiny budget.
+  double max_seconds = 0.0;
+  /// Wall-clock origin for max_seconds (defaults to construction time,
+  /// i.e. roughly process start when built by StandardOptions).
+  std::chrono::steady_clock::time_point start;
+
+  // --- outcome ---------------------------------------------------------
+  bool stopped = false;        ///< budget fired before completion
+  std::size_t replayed = 0;    ///< rows skipped via the journal
+  std::size_t evaluated = 0;   ///< scenarios actually evaluated this run
+  std::size_t journal_cursor = 0;  ///< segments consumed (internal state)
+
+  [[nodiscard]] bool over_budget() const {
+    return max_seconds > 0.0 &&
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+                   .count() >= max_seconds;
+  }
+
+  /// Journal segments never reached by the run(s) sharing this control.
+  /// Nonzero after a *completed* (non-stopped) run means the journal was
+  /// written under different flags whose early batches happened to
+  /// coincide — the caller must treat it as a hard error, because fresh
+  /// rows have been appended after the stale tail.
+  [[nodiscard]] std::size_t unconsumed_segments() const;
+};
 
 /// One topology axis value: the artifact-cache registration key plus the
 /// deferred graph builder.  `vertices`/`radix` are optional metadata so
@@ -210,8 +270,19 @@ class Campaign {
 
   /// Execute every phase in declaration order.
   void run(const std::vector<ResultSink*>& sinks = {});
+  /// Execute under a RunControl: resume from a journal, restrict every
+  /// batch to one shard, and/or stop gracefully on a wall-clock budget.
+  /// Journal/declaration mismatches throw std::runtime_error.  After a
+  /// stopped or sharded run the phases hold partial result vectors, so
+  /// coordinate access (Phase::at) is off the table — stream sinks are
+  /// the output surface for those runs.
+  void run(const std::vector<ResultSink*>& sinks, RunControl& ctl);
 
   [[nodiscard]] Phase& phase(const std::string& name);
+  /// All phases in declaration order (the --phase-json record walks them).
+  [[nodiscard]] const std::vector<std::unique_ptr<Phase>>& phases() const {
+    return phases_;
+  }
   [[nodiscard]] Engine& engine() { return eng_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t total_scenarios() const;
@@ -253,6 +324,10 @@ struct CovPrefix {
 class AdaptiveSweep {
  public:
   struct Config {
+    /// Journal identity: the "campaign" field of this sweep's batch
+    /// headers.  Distinguishes multiple sweeps in one process (fig5's
+    /// two size classes) when resuming.
+    std::string name = "adaptive";
     std::uint64_t max_trials = 10;
     std::uint64_t seed_base = 9177;
     double cov_target = 0.10;
@@ -279,10 +354,21 @@ class AdaptiveSweep {
 
   /// Wave loop; each wave's results stream through `sinks` in batch order.
   void run(const std::vector<ResultSink*>& sinks = {});
+  /// Wave loop under a RunControl (resume + wall-clock budget).  Journal
+  /// replay feeds the CoV rule the exact historical values (%.17g rows
+  /// round-trip bitwise), so the reconstructed wave schedule — and hence
+  /// the byte stream — matches an uninterrupted run.  Sharding is
+  /// rejected: wave composition depends on every point's results, which
+  /// no single shard holds.
+  void run(const std::vector<ResultSink*>& sinks, RunControl& ctl);
 
   [[nodiscard]] const std::vector<PointState>& points() const {
     return points_;
   }
+  /// Scenario-evaluation wall-clock across all waves so far.
+  [[nodiscard]] double eval_seconds() const { return eval_seconds_; }
+  /// Waves executed (or replayed) so far.
+  [[nodiscard]] std::size_t waves() const { return waves_; }
   /// CoV-selected prefix length for a point's kept series.
   [[nodiscard]] std::size_t converged_prefix(std::size_t point) const;
 
@@ -294,6 +380,8 @@ class AdaptiveSweep {
   CampaignBuilder grid_;
   Config cfg_;
   std::vector<PointState> points_;
+  double eval_seconds_ = 0.0;
+  std::size_t waves_ = 0;
 };
 
 }  // namespace sfly::engine

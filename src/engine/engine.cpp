@@ -253,9 +253,11 @@ namespace {
 // campaign size; evaluation itself is unchanged, so results are bitwise
 // identical to the collect-everything path at any thread count.
 template <typename Scen, typename Res, typename Eval>
-void stream_batch(unsigned threads, const std::vector<Scen>& batch,
-                  const std::vector<ResultSink*>& sinks, Eval&& eval) {
+std::size_t stream_batch(unsigned threads, const std::vector<Scen>& batch,
+                         const std::vector<ResultSink*>& sinks,
+                         const Engine::StreamOptions& opts, Eval&& eval) {
   for (auto* s : sinks) s->begin(batch.size());
+  std::size_t next_deliver = 0;
   {
     // Declared before the pool: if a sink throws mid-delivery, the pool
     // destructs FIRST and drains its queued tasks while the shared
@@ -263,7 +265,8 @@ void stream_batch(unsigned threads, const std::vector<Scen>& batch,
     std::mutex mu;
     std::condition_variable cv;
     std::map<std::size_t, Res> done;  // completed, not yet delivered
-    std::size_t next_submit = 0, next_deliver = 0;
+    std::size_t next_submit = 0;
+    bool stopping = false;  // stop_after fired: drain, don't submit
     TaskPool pool(threads);
     const std::size_t window =
         std::max<std::size_t>(16, std::size_t{4} * pool.width());
@@ -276,12 +279,12 @@ void stream_batch(unsigned threads, const std::vector<Scen>& batch,
         // buffer and deadlock the delivery loop.
         Res r;
         try {
-          r = eval(batch[i], i);
+          r = eval(batch[i], opts.index_base + i);
         } catch (const std::exception& e) {
-          r.index = i;
+          r.index = opts.index_base + i;
           r.error = e.what();
         } catch (...) {
-          r.index = i;
+          r.index = opts.index_base + i;
           r.error = "unknown evaluation failure";
         }
         std::lock_guard lock(mu);
@@ -290,8 +293,8 @@ void stream_batch(unsigned threads, const std::vector<Scen>& batch,
       });
     };
 
-    while (next_deliver < batch.size()) {
-      while (next_submit < batch.size() &&
+    while (next_deliver < (stopping ? next_submit : batch.size())) {
+      while (!stopping && next_submit < batch.size() &&
              next_submit < next_deliver + window)
         submit_one(next_submit++);
       std::unique_lock lock(mu);
@@ -304,25 +307,42 @@ void stream_batch(unsigned threads, const std::vector<Scen>& batch,
         ++next_deliver;
         lock.lock();
       }
+      // Stop check between deliveries: in-flight work (everything up to
+      // next_submit) still drains and delivers, so the consumed prefix of
+      // the batch is contiguous — exactly what a resume journal needs.
+      if (!stopping && opts.stop_after && opts.stop_after()) stopping = true;
     }
     pool.wait();  // drained; rethrows an (unexpected) infrastructure error
   }
   for (auto* s : sinks) s->end();
+  return next_deliver;
 }
 
 }  // namespace
 
-void Engine::run_stream(const std::vector<Scenario>& batch,
-                        const std::vector<ResultSink*>& sinks) {
-  stream_batch<Scenario, Result>(
-      cfg_.threads, batch, sinks,
+std::size_t Engine::run_stream(const std::vector<Scenario>& batch,
+                               const std::vector<ResultSink*>& sinks) {
+  return run_stream(batch, sinks, StreamOptions());
+}
+
+std::size_t Engine::run_sims_stream(const std::vector<SimScenario>& batch,
+                                    const std::vector<ResultSink*>& sinks) {
+  return run_sims_stream(batch, sinks, StreamOptions());
+}
+
+std::size_t Engine::run_stream(const std::vector<Scenario>& batch,
+                               const std::vector<ResultSink*>& sinks,
+                               const StreamOptions& opts) {
+  return stream_batch<Scenario, Result>(
+      cfg_.threads, batch, sinks, opts,
       [this](const Scenario& s, std::size_t i) { return evaluate(s, i); });
 }
 
-void Engine::run_sims_stream(const std::vector<SimScenario>& batch,
-                             const std::vector<ResultSink*>& sinks) {
-  stream_batch<SimScenario, SimResult>(
-      cfg_.threads, batch, sinks,
+std::size_t Engine::run_sims_stream(const std::vector<SimScenario>& batch,
+                                    const std::vector<ResultSink*>& sinks,
+                                    const StreamOptions& opts) {
+  return stream_batch<SimScenario, SimResult>(
+      cfg_.threads, batch, sinks, opts,
       [this](const SimScenario& s, std::size_t i) { return evaluate_sim(s, i); });
 }
 

@@ -1,4 +1,5 @@
 #pragma once
+/// \file engine.hpp
 // Parallel experiment engine (see DESIGN.md §6).
 //
 // The paper's figures are sweeps: topology x routing x traffic x failure
@@ -57,15 +58,36 @@ class Engine {
   [[nodiscard]] std::vector<SimResult> run_sims(
       const std::vector<SimScenario>& batch);
 
+  /// Knobs for one streamed batch.
+  struct StreamOptions {
+    /// Result::index of batch[0].  A campaign running one shard (or the
+    /// un-journaled suffix of a resumed batch) passes the slice's offset
+    /// so every row keeps its position in the full batch.
+    std::size_t index_base = 0;
+    /// Graceful-stop probe, polled between in-order deliveries.  Once it
+    /// returns true no further scenarios are submitted; everything
+    /// already in flight is drained and delivered, so the batch ends on
+    /// a clean journal prefix.  Empty = never stop.
+    std::function<bool()> stop_after;
+  };
+
   /// Streaming evaluation: fan the batch across the pool, but deliver
   /// each result to every sink strictly in batch order as workers complete
   /// them (a bounded reorder window keeps memory O(threads), not
   /// O(batch)).  run()/run_sims() are this with a CollectSink.  Sinks
   /// are invoked from the calling thread only.
-  void run_stream(const std::vector<Scenario>& batch,
-                  const std::vector<ResultSink*>& sinks);
-  void run_sims_stream(const std::vector<SimScenario>& batch,
-                       const std::vector<ResultSink*>& sinks);
+  /// \return the number of results delivered — less than batch.size()
+  ///         only when opts.stop_after fired.
+  std::size_t run_stream(const std::vector<Scenario>& batch,
+                         const std::vector<ResultSink*>& sinks);
+  std::size_t run_stream(const std::vector<Scenario>& batch,
+                         const std::vector<ResultSink*>& sinks,
+                         const StreamOptions& opts);
+  std::size_t run_sims_stream(const std::vector<SimScenario>& batch,
+                              const std::vector<ResultSink*>& sinks);
+  std::size_t run_sims_stream(const std::vector<SimScenario>& batch,
+                              const std::vector<ResultSink*>& sinks,
+                              const StreamOptions& opts);
 
   /// Evaluate one scenario on the calling thread (no pool).
   [[nodiscard]] Result evaluate(const Scenario& s, std::size_t index = 0);

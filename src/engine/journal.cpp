@@ -1,0 +1,394 @@
+#include "engine/journal.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace sfly::engine {
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                std::size_t index,
+                                                std::size_t count) {
+  if (count == 0 || index >= count)
+    throw std::invalid_argument("shard_range: index must be < count");
+  return {n * index / count, n * (index + 1) / count};
+}
+
+namespace {
+
+// Minimal scanner for the flat JSON objects JsonlSink emits: string /
+// number / bool / small-int-array values, no nesting beyond the shard
+// pair.  Returns false on any structural problem — the caller treats the
+// line as unparseable rather than guessing.
+struct FlatJson {
+  // Key order preserved; values are raw token slices of the line.
+  std::vector<std::pair<std::string, std::string>> pairs;
+
+  static bool scan(const std::string& line, FlatJson& out) {
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto expect = [&](char c) {
+      if (i >= n || line[i] != c) return false;
+      ++i;
+      return true;
+    };
+    auto scan_string = [&](std::string& raw) {
+      const std::size_t start = i;
+      if (!expect('"')) return false;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= n) return false;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      if (!expect('"')) return false;
+      raw = line.substr(start, i - start);
+      return true;
+    };
+    auto scan_token = [&](std::string& raw) {
+      const std::size_t start = i;
+      if (i < n && line[i] == '"') return scan_string(raw);
+      if (i < n && line[i] == '[') {
+        while (i < n && line[i] != ']') ++i;
+        if (!expect(']')) return false;
+      } else {
+        while (i < n && line[i] != ',' && line[i] != '}') ++i;
+      }
+      if (i == start) return false;
+      raw = line.substr(start, i - start);
+      return true;
+    };
+
+    if (!expect('{')) return false;
+    while (true) {
+      std::string key, value;
+      if (!scan_string(key)) return false;
+      if (!expect(':')) return false;
+      if (!scan_token(value)) return false;
+      out.pairs.emplace_back(key.substr(1, key.size() - 2), std::move(value));
+      if (i < n && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return expect('}') && i == n;
+  }
+
+  [[nodiscard]] const std::string* raw(const std::string& key) const {
+    for (const auto& [k, v] : pairs)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+// Inverse of sink.cpp's json_str escaping.
+bool unescape(const std::string& raw, std::string& out) {
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  for (std::size_t i = 1; i + 1 < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i + 1 > raw.size()) return false;
+    switch (raw[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'u': {
+        if (i + 4 + 1 > raw.size()) return false;
+        char* end = nullptr;
+        const std::string hex = raw.substr(i + 1, 4);
+        const long code = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4 || code < 0 || code > 0xff) return false;
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+// Typed field extraction; every getter reports absence/garbage as false
+// so one || chain rejects a malformed line.
+bool get_str(const FlatJson& j, const char* key, std::string& out) {
+  const std::string* raw = j.raw(key);
+  return raw && unescape(*raw, out);
+}
+
+bool get_f64(const FlatJson& j, const char* key, double& out) {
+  const std::string* raw = j.raw(key);
+  if (!raw || raw->empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(raw->c_str(), &end);
+  return end == raw->c_str() + raw->size();
+}
+
+bool get_u64(const FlatJson& j, const char* key, std::uint64_t& out) {
+  const std::string* raw = j.raw(key);
+  if (!raw || raw->empty() || (*raw)[0] < '0' || (*raw)[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(raw->c_str(), &end, 10);
+  return errno == 0 && end == raw->c_str() + raw->size();
+}
+
+template <typename T>
+bool get_uint(const FlatJson& j, const char* key, T& out) {
+  std::uint64_t v = 0;
+  if (!get_u64(j, key, v)) return false;
+  out = static_cast<T>(v);
+  return v == static_cast<std::uint64_t>(out);
+}
+
+bool get_bool(const FlatJson& j, const char* key, bool& out) {
+  const std::string* raw = j.raw(key);
+  if (!raw) return false;
+  if (*raw == "true") return out = true, true;
+  if (*raw == "false") return out = false, true;
+  return false;
+}
+
+// ok rows carry no "error" field; !ok rows must.
+bool get_ok_error(const FlatJson& j, bool& ok, std::string& error) {
+  if (!get_bool(j, "ok", ok)) return false;
+  return ok ? j.raw("error") == nullptr : get_str(j, "error", error);
+}
+
+Kind parse_kind(const std::string& name, bool& valid) {
+  for (Kind k : {Kind::kStructure, Kind::kSpectral, Kind::kSimulate,
+                 Kind::kLayout})
+    if (name == kind_name(k)) return k;
+  valid = false;
+  return Kind::kSimulate;
+}
+
+}  // namespace
+
+std::optional<Result> CampaignJournal::parse_result(const std::string& line) {
+  FlatJson j;
+  if (!FlatJson::scan(line, j)) return std::nullopt;
+  Result r;
+  std::string kind;
+  bool kind_valid = true;
+  const bool fields =
+      get_uint(j, "index", r.index) && get_str(j, "topology", r.topology) &&
+      get_str(j, "kind", kind) && get_ok_error(j, r.ok, r.error) &&
+      get_uint(j, "vertices", r.vertices) && get_uint(j, "radix", r.radix) &&
+      get_bool(j, "connected", r.connected) &&
+      get_f64(j, "diameter", r.diameter) &&
+      get_f64(j, "mean_hops", r.mean_hops) && get_uint(j, "girth", r.girth) &&
+      get_f64(j, "bisection", r.bisection) &&
+      get_f64(j, "normalized_bisection", r.normalized_bisection) &&
+      get_f64(j, "lambda", r.lambda) && get_f64(j, "mu1", r.mu1) &&
+      get_bool(j, "ramanujan", r.ramanujan) &&
+      get_f64(j, "fiedler_bisection_lb", r.fiedler_bisection_lb) &&
+      get_f64(j, "max_latency_ns", r.max_latency_ns) &&
+      get_f64(j, "mean_latency_ns", r.mean_latency_ns) &&
+      get_f64(j, "p99_latency_ns", r.p99_latency_ns) &&
+      get_f64(j, "completion_ns", r.completion_ns) &&
+      get_u64(j, "messages", r.messages) &&
+      get_f64(j, "mean_wire_m", r.mean_wire_m) &&
+      get_f64(j, "max_wire_m", r.max_wire_m) &&
+      get_u64(j, "wires_electrical", r.wires_electrical) &&
+      get_u64(j, "wires_optical", r.wires_optical) &&
+      get_f64(j, "power_watts", r.power_watts) &&
+      get_f64(j, "mw_per_gbps", r.mw_per_gbps);
+  if (!fields) return std::nullopt;
+  r.kind = parse_kind(kind, kind_valid);
+  if (!kind_valid) return std::nullopt;
+  // The round-trip seal: a row counts as parsed only if re-serializing it
+  // reproduces the line exactly (%.17g makes doubles lossless, so this
+  // also certifies the parsed values are bitwise faithful).
+  if (jsonl_row(r) != line + "\n") return std::nullopt;
+  return r;
+}
+
+std::optional<SimResult> CampaignJournal::parse_sim_result(
+    const std::string& line) {
+  FlatJson j;
+  if (!FlatJson::scan(line, j)) return std::nullopt;
+  SimResult r;
+  const bool fields =
+      get_uint(j, "index", r.index) && get_str(j, "topology", r.topology) &&
+      get_str(j, "label", r.label) && get_ok_error(j, r.ok, r.error) &&
+      get_f64(j, "diameter", r.diameter) &&
+      get_f64(j, "max_latency_ns", r.max_latency_ns) &&
+      get_f64(j, "mean_latency_ns", r.mean_latency_ns) &&
+      get_f64(j, "p99_latency_ns", r.p99_latency_ns) &&
+      get_f64(j, "completion_ns", r.completion_ns) &&
+      get_u64(j, "messages", r.messages) && get_u64(j, "events", r.events) &&
+      get_u64(j, "packets", r.packets);
+  if (!fields) return std::nullopt;
+  if (jsonl_row(r) != line + "\n") return std::nullopt;
+  return r;
+}
+
+std::optional<BatchMeta> CampaignJournal::parse_meta(const std::string& line) {
+  FlatJson j;
+  if (!FlatJson::scan(line, j)) return std::nullopt;
+  BatchMeta m;
+  if (!get_str(j, "batch", m.batch) || !get_str(j, "campaign", m.campaign) ||
+      !get_uint(j, "scenarios", m.scenarios))
+    return std::nullopt;
+  {
+    std::string decl;
+    if (!get_str(j, "decl", decl) || decl.size() != 16) return std::nullopt;
+    char* end = nullptr;
+    errno = 0;
+    m.decl = std::strtoull(decl.c_str(), &end, 16);
+    if (errno != 0 || end != decl.c_str() + decl.size()) return std::nullopt;
+  }
+  if (const std::string* shard = j.raw("shard")) {
+    if (std::sscanf(shard->c_str(), "[%zu,%zu]", &m.shard_index,
+                    &m.shard_count) != 2 ||
+        !get_uint(j, "rows", m.rows))
+      return std::nullopt;
+  } else {
+    m.rows = m.scenarios;
+  }
+  if (jsonl_meta(m) != line + "\n") return std::nullopt;
+  return m;
+}
+
+CampaignJournal CampaignJournal::load(const std::string& path) {
+  CampaignJournal out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return out;  // fresh resume: nothing journaled yet
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // half-written tail: drop it
+    const std::string line = text.substr(pos, nl - pos);
+    const bool is_meta = line.rfind("{\"batch\":", 0) == 0;
+    if (is_meta) {
+      auto m = parse_meta(line);
+      if (!m) break;  // corrupt line: only legal as the very last one
+      out.segments_.push_back({*m, {}});
+    } else {
+      Row row;
+      if (auto sr = parse_sim_result(line)) {
+        row.sim = true;
+        row.sim_result = std::move(*sr);
+      } else if (auto r = parse_result(line)) {
+        row.result = std::move(*r);
+      } else {
+        break;
+      }
+      if (out.segments_.empty())
+        throw std::runtime_error(
+            path + ": result rows precede any batch header — not a resumable "
+                   "campaign journal (written by an older --json?)");
+      row.raw = line;
+      out.segments_.back().rows.push_back(std::move(row));
+    }
+    pos = nl + 1;
+    out.valid_bytes_ = pos;
+  }
+  // Anything between valid_bytes_ and EOF is the kill artifact — at most
+  // one (possibly newline-terminated) half-flushed line.  An unparseable
+  // line with further lines after it is corruption, not truncation.
+  if (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl != std::string::npos && nl + 1 != text.size())
+      throw std::runtime_error(path +
+                               ": unparseable line before end of journal — "
+                               "refusing to resume from a corrupt file");
+  }
+  return out;
+}
+
+std::size_t CampaignJournal::rows() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) n += seg.rows.size();
+  return n;
+}
+
+void CampaignJournal::merge(const std::vector<std::string>& inputs,
+                            std::FILE* out) {
+  if (inputs.empty()) throw std::runtime_error("merge: no input journals");
+  std::vector<CampaignJournal> shards;
+  shards.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    shards.push_back(load(path));
+    if (shards.back().empty())
+      throw std::runtime_error(path + ": empty or missing shard journal");
+  }
+
+  // Order the journals by their declared shard index and check the set is
+  // exactly 0..K-1 of a consistent K.
+  std::vector<const CampaignJournal*> by_index(inputs.size(), nullptr);
+  const std::size_t count = shards[0].segments()[0].meta.shard_count;
+  if (count != inputs.size())
+    throw std::runtime_error(
+        "merge: journals declare " + std::to_string(count) +
+        " shard(s) but " + std::to_string(inputs.size()) + " were given");
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const auto& meta = shards[s].segments()[0].meta;
+    if (meta.shard_count != count || meta.shard_index >= count ||
+        by_index[meta.shard_index])
+      throw std::runtime_error(inputs[s] + ": inconsistent or duplicate "
+                                           "shard declaration");
+    by_index[meta.shard_index] = &shards[s];
+  }
+
+  const std::size_t nseg = by_index[0]->segments().size();
+  for (const auto* j : by_index)
+    if (j->segments().size() != nseg)
+      throw std::runtime_error("merge: shard journals disagree on batch "
+                               "count — at least one shard is incomplete");
+
+  for (std::size_t seg = 0; seg < nseg; ++seg) {
+    BatchMeta m = by_index[0]->segments()[seg].meta;
+    std::size_t next_index = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      const auto& sseg = by_index[s]->segments()[seg];
+      if (sseg.meta.batch != m.batch || sseg.meta.campaign != m.campaign ||
+          sseg.meta.scenarios != m.scenarios || sseg.meta.decl != m.decl)
+        throw std::runtime_error("merge: batch " + std::to_string(seg) +
+                                 " headers disagree across shards");
+      const auto [lo, hi] = shard_range(m.scenarios, s, count);
+      if (sseg.rows.size() != hi - lo)
+        throw std::runtime_error(
+            "merge: shard " + std::to_string(s) + " of batch '" + m.batch +
+            "' holds " + std::to_string(sseg.rows.size()) + " of " +
+            std::to_string(hi - lo) + " rows — finish or resume it first");
+      if (s == 0) {
+        // The unsharded header the merged stream must carry.
+        m.shard_index = 0;
+        m.shard_count = 1;
+        m.rows = m.scenarios;
+        const std::string header = jsonl_meta(m);
+        std::fwrite(header.data(), 1, header.size(), out);
+      }
+      for (const auto& row : sseg.rows) {
+        const std::size_t idx =
+            row.sim ? row.sim_result.index : row.result.index;
+        if (idx != next_index)
+          throw std::runtime_error("merge: batch '" + m.batch +
+                                   "' rows are not a contiguous 0..N-1 "
+                                   "sequence across shards");
+        ++next_index;
+        std::fwrite(row.raw.data(), 1, row.raw.size(), out);
+        std::fputc('\n', out);
+      }
+    }
+  }
+  std::fflush(out);
+}
+
+}  // namespace sfly::engine

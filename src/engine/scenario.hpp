@@ -1,14 +1,20 @@
 #pragma once
-// Experiment-engine vocabulary: a Scenario names one point of the paper's
-// evaluation space (topology x routing x traffic x failure rate x seed),
-// and a Result carries every metric any scenario kind can produce.  The
-// benches and the design-space sweeps are batches of these.
-//
-// Simulation campaigns (Figs. 6-10, the discrepancy placement probe) use
-// the dedicated SimScenario/SimResult pair: the same topology key and
-// determinism contract, but a workload description rich enough for both
-// synthetic patterns and Ember motifs, evaluated through the core Network
-// facade so engine runs and the seed benches share one code path.
+/// \file scenario.hpp
+/// Experiment-engine vocabulary: a Scenario names one point of the paper's
+/// evaluation space (topology x routing x traffic x failure rate x seed),
+/// and a Result carries every metric any scenario kind can produce.  The
+/// benches and the design-space sweeps are batches of these.
+///
+/// Simulation campaigns (Figs. 6-10, the discrepancy placement probe) use
+/// the dedicated SimScenario/SimResult pair: the same topology key and
+/// determinism contract, but a workload description rich enough for both
+/// synthetic patterns and Ember motifs, evaluated through the core Network
+/// facade so engine runs and the seed benches share one code path.
+///
+/// Both result flavors serialize losslessly to CSV and JSONL rows
+/// (engine/sink.hpp); the JSONL form parses back bitwise
+/// (engine/journal.hpp), which is what makes a `--json` stream a
+/// resume checkpoint.
 
 #include <cstdint>
 #include <functional>

@@ -148,6 +148,21 @@ std::string jsonl_row(const SimResult& r) {
   return out.str();
 }
 
+std::string jsonl_meta(const BatchMeta& m) {
+  std::ostringstream out;
+  out << "{\"batch\":" << json_str(m.batch)
+      << ",\"campaign\":" << json_str(m.campaign)
+      << ",\"scenarios\":" << m.scenarios;
+  if (m.shard_count > 1)
+    out << ",\"shard\":[" << m.shard_index << ',' << m.shard_count
+        << "],\"rows\":" << m.rows;
+  char decl[24];
+  std::snprintf(decl, sizeof decl, "%016llx",
+                static_cast<unsigned long long>(m.decl));
+  out << ",\"decl\":\"" << decl << "\"}\n";
+  return out.str();
+}
+
 // --- CollectSink -----------------------------------------------------------
 
 void CollectSink::begin(std::size_t total) {
@@ -180,6 +195,11 @@ void CsvSink::end() { std::fflush(out_); }
 
 // --- JsonlSink -------------------------------------------------------------
 
+void JsonlSink::meta(const BatchMeta& m) {
+  auto row = jsonl_meta(m);
+  std::fwrite(row.data(), 1, row.size(), out_);
+}
+
 void JsonlSink::consume(const Result& r) {
   auto row = jsonl_row(r);
   std::fwrite(row.data(), 1, row.size(), out_);
@@ -194,22 +214,28 @@ void JsonlSink::end() { std::fflush(out_); }
 
 // --- ProgressSink ----------------------------------------------------------
 
-void ProgressSink::begin(std::size_t total) { total_ = total; }
+void ProgressSink::begin(std::size_t total) {
+  total_ = total;
+  seen_ = 0;
+}
 
-void ProgressSink::line(std::size_t index, const std::string& topology,
-                        const std::string& label, bool ok, double wall_ms) {
-  std::fprintf(out_, "[%zu/%zu] %s%s%s %s %.1f ms\n", index + 1, total_,
+// Counts deliveries rather than echoing Result::index: on a sharded or
+// resumed batch the indices are full-batch positions (48..95) while
+// begin() announced only this run's slice, and "[49/48]" helps nobody.
+void ProgressSink::line(const std::string& topology, const std::string& label,
+                        bool ok, double wall_ms) {
+  std::fprintf(out_, "[%zu/%zu] %s%s%s %s %.1f ms\n", ++seen_, total_,
                topology.c_str(), label.empty() ? "" : " ",
                label.c_str(), ok ? "ok" : "ERR", wall_ms);
   std::fflush(out_);
 }
 
 void ProgressSink::consume(const Result& r) {
-  line(r.index, r.topology, kind_name(r.kind), r.ok, r.wall_ms);
+  line(r.topology, kind_name(r.kind), r.ok, r.wall_ms);
 }
 
 void ProgressSink::consume(const SimResult& r) {
-  line(r.index, r.topology, r.label, r.ok, r.wall_ms);
+  line(r.topology, r.label, r.ok, r.wall_ms);
 }
 
 // --- TableSink -------------------------------------------------------------

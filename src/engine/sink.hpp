@@ -1,13 +1,14 @@
 #pragma once
-// Streaming result sinks (see DESIGN.md §6).
-//
-// Engine::run_stream / run_sims_stream deliver results to ResultSinks in
-// strict batch order as workers complete them, so a campaign of any size
-// can emit CSV / JSON-lines / progress output with bounded memory — no
-// whole-batch buffer between evaluation and formatting.  Sinks are called
-// from the submitting thread only, one result at a time, and see exactly
-// the same result values at any --threads count (the engine's determinism
-// contract; wall_ms is the only thread-dependent field).
+/// \file sink.hpp
+/// Streaming result sinks (see DESIGN.md §6 and docs/CAMPAIGNS.md).
+///
+/// Engine::run_stream / run_sims_stream deliver results to ResultSinks in
+/// strict batch order as workers complete them, so a campaign of any size
+/// can emit CSV / JSON-lines / progress output with bounded memory — no
+/// whole-batch buffer between evaluation and formatting.  Sinks are called
+/// from the submitting thread only, one result at a time, and see exactly
+/// the same result values at any --threads count (the engine's determinism
+/// contract; wall_ms is the only thread-dependent field).
 
 #include <cstdint>
 #include <cstdio>
@@ -18,6 +19,25 @@
 
 namespace sfly::engine {
 
+/// Identity of one campaign batch, announced to sinks before its rows.
+/// Campaign and AdaptiveSweep emit one of these per phase batch / trial
+/// wave; JsonlSink serializes it as the batch header line that makes a
+/// `--json` stream a resumable, mergeable journal (engine/journal.hpp).
+struct BatchMeta {
+  std::string campaign;        ///< owning campaign (or sweep) name
+  std::string batch;           ///< phase name, or "waveN" for trial waves
+  std::size_t scenarios = 0;   ///< full (unsharded) batch size
+  std::size_t shard_index = 0; ///< this run's shard (0-based)
+  std::size_t shard_count = 1; ///< 1 = unsharded
+  std::size_t rows = 0;        ///< rows this shard contributes to the batch
+  /// Fingerprint of the full expanded batch (every scenario knob, not
+  /// just the shape), so resuming under changed flags — same grid, a
+  /// different --seed or workload — is a hard error, never a silent
+  /// splice of stale rows.  Shard-independent: always hashes the whole
+  /// batch, so shard journals merge to the unsharded header.
+  std::uint64_t decl = 0;
+};
+
 /// Consumer of a streamed result batch.  Override the consume overload(s)
 /// for the result type(s) the sink handles; the defaults ignore results
 /// of the other type so one sink class can serve both run_stream and
@@ -26,6 +46,9 @@ class ResultSink {
  public:
   virtual ~ResultSink() = default;
 
+  /// Batch identity, delivered by the campaign layer before begin().
+  /// Engine-level streams (no campaign) never call this.
+  virtual void meta(const BatchMeta& m) { (void)m; }
   /// Called once before the first result with the batch size.
   virtual void begin(std::size_t total) { (void)total; }
   /// Streamed delivery, strictly in batch (index) order.
@@ -33,6 +56,12 @@ class ResultSink {
   virtual void consume(const SimResult& r) { (void)r; }
   /// Called once after the last result of the batch.
   virtual void end() {}
+
+  /// Whether a `--resume` run should re-deliver rows replayed from the
+  /// journal.  In-memory consumers (collect, tables, CSV re-emission)
+  /// need the full sequence; journal-writing and rate-measuring sinks
+  /// must see only the rows actually evaluated this run.
+  [[nodiscard]] virtual bool wants_replay() const { return true; }
 };
 
 // ---------------------------------------------------------------------------
@@ -45,6 +74,11 @@ class ResultSink {
 /// stream is byte-identical at any thread count (CI diffs it at 1 vs 4).
 [[nodiscard]] std::string jsonl_row(const Result& r);
 [[nodiscard]] std::string jsonl_row(const SimResult& r);
+/// The batch header line: `{"batch":...,"campaign":...,"scenarios":N}`,
+/// plus `"shard":[I,K],"rows":M` when shard_count > 1.  Merging shard
+/// journals strips the shard fields, so the merged bytes equal an
+/// unsharded run's.
+[[nodiscard]] std::string jsonl_meta(const BatchMeta& m);
 
 // ---------------------------------------------------------------------------
 // Concrete sinks.
@@ -82,13 +116,18 @@ class CsvSink final : public ResultSink {
 };
 
 /// Streams one JSON object per line per result (wall_ms excluded, so the
-/// output is byte-identical at any thread count).
+/// output is byte-identical at any thread count), prefixed by one batch
+/// header line per campaign batch — the journal format engine/journal.hpp
+/// reads back for `--resume` and shard merging.  Never receives replayed
+/// rows: on resume the journal prefix is already on disk.
 class JsonlSink final : public ResultSink {
  public:
   explicit JsonlSink(std::FILE* out) : out_(out) {}
+  void meta(const BatchMeta& m) override;
   void consume(const Result& r) override;
   void consume(const SimResult& r) override;
   void end() override;
+  [[nodiscard]] bool wants_replay() const override { return false; }
 
  private:
   std::FILE* out_;
@@ -102,12 +141,15 @@ class ProgressSink final : public ResultSink {
   void begin(std::size_t total) override;
   void consume(const Result& r) override;
   void consume(const SimResult& r) override;
+  /// Replayed rows cost no work; progress covers live evaluation only.
+  [[nodiscard]] bool wants_replay() const override { return false; }
 
  private:
-  void line(std::size_t index, const std::string& topology,
-            const std::string& label, bool ok, double wall_ms);
+  void line(const std::string& topology, const std::string& label, bool ok,
+            double wall_ms);
   std::FILE* out_;
   std::size_t total_ = 0;
+  std::size_t seen_ = 0;  // delivered count (indices may be batch-offset)
 };
 
 /// Buffers results and prints one aligned console table at end() —
@@ -135,6 +177,9 @@ class PerfRecordSink final : public ResultSink {
  public:
   void consume(const Result& r) override;
   void consume(const SimResult& r) override;
+  /// events/sec must divide work actually done this run by this run's
+  /// eval time, so journal-replayed rows are excluded.
+  [[nodiscard]] bool wants_replay() const override { return false; }
 
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] std::uint64_t packets() const { return packets_; }

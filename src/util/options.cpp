@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 namespace sfly::bench {
@@ -89,6 +90,18 @@ std::vector<FlagSpec> standard_flags() {
        "stream results as JSON lines to PATH; omitted/'-' = stdout, "
        "interleaved with the report — use a file path for machine parsing",
        /*value_optional=*/true},
+      {"--resume", true,
+       "resume a killed/stopped campaign from the JSONL journal at PATH "
+       "(also the --json target; completed scenarios are skipped)"},
+      {"--shard", true,
+       "run only shard I of N (\"I/N\", 0-based); shard journals merge "
+       "back to the unsharded stream with sfly_merge"},
+      {"--max-seconds", true,
+       "graceful wall-clock budget: finish in-flight scenarios, flush "
+       "sinks, exit 75 (resumable) once B seconds have elapsed"},
+      {"--phase-json", true,
+       "write a per-phase wall-clock record (the BENCH_full.json format) "
+       "to PATH"},
       {"--profile", false, "print phase timing (artifact build vs eval)"},
       {"--progress", false, "per-scenario progress lines on stderr"},
       {"--dry-run", false, "print the expanded campaign plan and exit"},
@@ -127,6 +140,30 @@ StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
   // line, then the bench's verbatim extra lines.
   std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",
               spec.banner, spec.extra_usage);
+
+  if (flags_.has("--resume") && flags_.has("--json")) {
+    std::fprintf(stderr,
+                 "error: --resume PATH already streams the journal to PATH; "
+                 "drop --json\n");
+    std::exit(2);
+  }
+  if (flags_.has("--shard")) {
+    const std::string spec_str = flags_.get_str("--shard");
+    const auto slash = spec_str.find('/');
+    std::optional<std::uint64_t> i, n;
+    if (slash != std::string::npos) {
+      i = parse_u64(spec_str.substr(0, slash));
+      n = parse_u64(spec_str.substr(slash + 1));
+    }
+    if (!i || !n || *n == 0 || *i >= *n) {
+      std::fprintf(stderr,
+                   "error: --shard expects I/N with 0 <= I < N, got '%s'\n",
+                   spec_str.c_str());
+      std::exit(2);
+    }
+    shard_index_ = static_cast<std::size_t>(*i);
+    shard_count_ = static_cast<std::size_t>(*n);
+  }
 }
 
 StandardOptions::~StandardOptions() {
@@ -140,12 +177,55 @@ engine::EngineConfig StandardOptions::engine_config() const {
   return cfg;
 }
 
+// Load the --resume journal and truncate the file to its last complete
+// line (a hard kill can leave a half-written tail) so the JsonlSink can
+// append from a clean prefix.  Shared by sinks() and run_control() —
+// whichever the bench calls first.
+void StandardOptions::prepare_resume() {
+  if (resume_prepared_) return;
+  resume_prepared_ = true;
+  const std::string path = flags_.get_str("--resume");
+  if (path.empty() || path == "-") {
+    if (flags_.has("--resume")) {
+      std::fprintf(stderr, "error: --resume needs a journal file path\n");
+      std::exit(2);
+    }
+    return;
+  }
+  try {
+    journal_ = std::make_unique<engine::CampaignJournal>(
+        engine::CampaignJournal::load(path));
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path, ec);
+    const std::uintmax_t size = exists ? std::filesystem::file_size(path, ec)
+                                       : 0;
+    // A non-empty file from which nothing parsed is some OTHER file the
+    // user pointed --resume at (or a journal killed before its first
+    // complete line — nothing recoverable either way): truncating it to
+    // zero and appending would silently destroy it.  Refuse.
+    if (journal_->empty() && size > 0) {
+      std::fprintf(stderr,
+                   "error: %s exists but holds no campaign journal data — "
+                   "refusing to overwrite it; delete the file to start a "
+                   "fresh run\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    if (size > journal_->valid_bytes())
+      std::filesystem::resize_file(path, journal_->valid_bytes());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
 const std::vector<engine::ResultSink*>& StandardOptions::sinks() {
   if (sinks_built_) return sinks_;
   sinks_built_ = true;
-  auto open = [&](const std::string& path) -> std::FILE* {
+  prepare_resume();
+  auto open = [&](const std::string& path, const char* mode) -> std::FILE* {
     if (path == "-") return stdout;
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::FILE* f = std::fopen(path.c_str(), mode);
     if (!f) {
       std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
       std::exit(1);
@@ -154,11 +234,17 @@ const std::vector<engine::ResultSink*>& StandardOptions::sinks() {
     return f;
   };
   if (auto path = flags_.get_str("--csv"); !path.empty()) {
-    owned_.push_back(std::make_unique<engine::CsvSink>(open(path)));
+    owned_.push_back(std::make_unique<engine::CsvSink>(open(path, "w")));
     sinks_.push_back(owned_.back().get());
   }
   if (auto path = flags_.get_str("--json"); !path.empty()) {
-    owned_.push_back(std::make_unique<engine::JsonlSink>(open(path)));
+    owned_.push_back(std::make_unique<engine::JsonlSink>(open(path, "w")));
+    sinks_.push_back(owned_.back().get());
+  }
+  if (auto path = flags_.get_str("--resume"); !path.empty()) {
+    // The journal doubles as the --json target: the already-valid prefix
+    // stays on disk, and only freshly evaluated rows are appended.
+    owned_.push_back(std::make_unique<engine::JsonlSink>(open(path, "a")));
     sinks_.push_back(owned_.back().get());
   }
   if (flags_.has("--progress")) {
@@ -166,6 +252,19 @@ const std::vector<engine::ResultSink*>& StandardOptions::sinks() {
     sinks_.push_back(owned_.back().get());
   }
   return sinks_;
+}
+
+engine::RunControl& StandardOptions::run_control() {
+  if (!control_) {
+    prepare_resume();
+    control_ = std::make_unique<engine::RunControl>();
+    control_->journal = journal_ && !journal_->empty() ? journal_.get() : nullptr;
+    control_->shard_index = shard_index_;
+    control_->shard_count = shard_count_;
+    control_->max_seconds =
+        static_cast<double>(flags_.get("--max-seconds", 0));
+  }
+  return *control_;
 }
 
 }  // namespace sfly::bench

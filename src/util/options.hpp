@@ -1,22 +1,28 @@
 #pragma once
-// One options surface for every bench harness (see DESIGN.md §6).
-//
-// Flags is a strict CLI parser: every flag a bench accepts is declared up
-// front, unknown flags and malformed values are errors (exit 2), and
-// numeric values must parse exactly — "12x" is rejected, not truncated
-// to 12.  StandardOptions layers the flag set shared by all benches
-// (--threads/--full/--seed/--csv/--json/--profile/--progress/--dry-run/
-// --help) on top, owns the file-backed streaming sinks those flags
-// select, and prints the bench banner exactly as the harnesses always
-// have.
+/// \file options.hpp
+/// One options surface for every bench harness (see DESIGN.md §6 and
+/// docs/CAMPAIGNS.md).
+///
+/// Flags is a strict CLI parser: every flag a bench accepts is declared up
+/// front, unknown flags and malformed values are errors (exit 2), and
+/// numeric values must parse exactly — "12x" is rejected, not truncated
+/// to 12.  StandardOptions layers the flag set shared by all benches
+/// (--threads/--full/--seed/--csv/--json/--resume/--shard/--max-seconds/
+/// --phase-json/--profile/--progress/--dry-run/--help) on top, owns the
+/// file-backed streaming sinks and the campaign RunControl those flags
+/// select, and prints the bench banner exactly as the harnesses always
+/// have.
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/campaign.hpp"
 #include "engine/engine.hpp"
+#include "engine/journal.hpp"
 #include "engine/sink.hpp"
 
 namespace sfly::bench {
@@ -90,16 +96,40 @@ class StandardOptions {
   [[nodiscard]] engine::EngineConfig engine_config() const;
 
   /// The streaming sinks the flags select: CsvSink for `--csv PATH`,
-  /// JsonlSink for `--json PATH` ("-" = stdout), ProgressSink for
-  /// --progress.  Owned by this object; files close on destruction.
+  /// JsonlSink for `--json PATH` ("-" = stdout) or appending to the
+  /// `--resume PATH` journal, ProgressSink for --progress.  Owned by
+  /// this object; files close on destruction.
   [[nodiscard]] const std::vector<engine::ResultSink*>& sinks();
 
+  /// The campaign execution controls the flags select: the parsed
+  /// `--resume` journal, the `--shard I/N` slice, and the
+  /// `--max-seconds` budget.  One control spans every campaign/sweep the
+  /// bench runs (journal cursor and wall-clock budget carry across).
+  /// Loading a corrupt or mismatched journal is a fatal error (exit 2).
+  [[nodiscard]] engine::RunControl& run_control();
+
+  /// Shard slice parsed from `--shard I/N` (0-based; {0,1} = unsharded).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard() const {
+    return {shard_index_, shard_count_};
+  }
+  /// Path given to `--phase-json`, empty when absent.
+  [[nodiscard]] std::string phase_json_path() const {
+    return flags_.get_str("--phase-json");
+  }
+  [[nodiscard]] bool resuming() const { return flags_.has("--resume"); }
+
  private:
+  void prepare_resume();
+
   Flags flags_;
   std::vector<engine::ResultSink*> sinks_;
   std::vector<std::unique_ptr<engine::ResultSink>> owned_;
   std::vector<std::FILE*> files_;
   bool sinks_built_ = false;
+  std::size_t shard_index_ = 0, shard_count_ = 1;
+  std::unique_ptr<engine::CampaignJournal> journal_;
+  std::unique_ptr<engine::RunControl> control_;
+  bool resume_prepared_ = false;
 };
 
 }  // namespace sfly::bench

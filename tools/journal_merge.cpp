@@ -1,0 +1,68 @@
+// sfly_merge — stable merge of shard campaign journals back into the
+// unsharded JSONL byte stream.
+//
+//   bench_fig6_ugal --full --shard 0/2 --json s0.jsonl   (machine A)
+//   bench_fig6_ugal --full --shard 1/2 --json s1.jsonl   (machine B)
+//   sfly_merge s0.jsonl s1.jsonl > full.jsonl
+//
+// full.jsonl is byte-identical to the journal one unsharded run would
+// have written (CI diffs exactly that), so downstream tooling never
+// needs to know the campaign was sharded.  Incomplete shards (a journal
+// whose last batch is missing rows — resume it first) and inconsistent
+// shard sets are hard errors.
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "engine/journal.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: sfly_merge [-o OUT] SHARD.jsonl...\n"
+                  "merge shard campaign journals (--shard I/N runs) into "
+                  "the unsharded JSONL stream (stdout or OUT)\n");
+      return 0;
+    }
+    if (arg == "-o") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: -o expects a path\n");
+        return 2;
+      }
+      out_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("-", 0) == 0 && arg != "-") {
+      std::fprintf(stderr, "error: unknown flag '%s' (see --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "error: no shard journals given (see --help)\n");
+    return 2;
+  }
+  std::FILE* out = stdout;
+  if (!out_path.empty() && out_path != "-") {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  try {
+    sfly::engine::CampaignJournal::merge(inputs, out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
