@@ -83,6 +83,13 @@ struct DeclHash {
     u64(w.motif ? 1 : 0);  // factories can't hash; the label axis does
     f64(w.motif_compute_ns);
   }
+  void churn(const ChurnSpec& c) {
+    u64(c.link_kills);
+    u64(c.router_kills);
+    f64(c.start_ns);
+    f64(c.window_ns);
+    f64(c.repair_ns);
+  }
 };
 
 std::uint64_t decl_hash(const std::vector<Scenario>& batch) {
@@ -99,6 +106,7 @@ std::uint64_t decl_hash(const std::vector<Scenario>& batch) {
     d.u64(static_cast<std::uint64_t>(s.layout_em_rounds));
     d.u64(static_cast<std::uint64_t>(s.layout_swap_passes));
     d.f64(s.failure_fraction);
+    d.churn(s.churn);
     d.u64(s.seed);
   }
   return d.h;
@@ -112,6 +120,7 @@ std::uint64_t decl_hash(const std::vector<SimScenario>& batch) {
     d.workload(s.workload);
     d.u64(s.vcs);
     d.f64(s.failure_fraction);
+    d.churn(s.churn);
     d.u64(s.seed);
     d.str(s.label);
   }
@@ -240,6 +249,18 @@ CampaignBuilder& CampaignBuilder::failure_fractions(std::vector<double> v) {
   for (double f : v) {
     ax.setters.emplace_back([f](Scenario& s) { s.failure_fraction = f; });
     ax.labels.push_back(Table::num(f, 2));
+  }
+  add_axis(std::move(ax));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::churns(std::vector<ChurnSpec> v) {
+  Axis ax;
+  ax.name = "churn";
+  ax.labeled = true;  // result rows carry the churn level ("none", "2L", ...)
+  for (const auto& c : v) {
+    ax.setters.emplace_back([c](Scenario& s) { s.churn = c; });
+    ax.labels.push_back(churn_label(c));
   }
   add_axis(std::move(ax));
   return *this;

@@ -131,6 +131,9 @@ class CampaignBuilder {
   CampaignBuilder& vc_overrides(std::vector<std::uint32_t> v);
   CampaignBuilder& placements(std::vector<sim::PlacementPolicy> v);
   CampaignBuilder& failure_fractions(std::vector<double> v);
+  /// Mid-run churn timelines (bench_churn's availability axis); values
+  /// label as churn_label(spec) — "none", "2L", "1R~", ...
+  CampaignBuilder& churns(std::vector<ChurnSpec> v);
   CampaignBuilder& restarts(std::vector<int> v);  // bisection restart budgets
   CampaignBuilder& seeds(std::vector<std::uint64_t> v);
   CampaignBuilder& seed_range(std::uint64_t base, std::size_t count);

@@ -28,6 +28,9 @@ namespace {
 // Seed stream tag for the failure sampler, so link deletion and e.g.
 // traffic generation never consume the same stream of a scenario seed.
 constexpr std::uint64_t kFailureStream = 0xFA11;
+// Seed stream for the mid-run churn schedule (distinct from the static
+// failure sampler: a scenario may legally use both knobs at once).
+constexpr std::uint64_t kChurnStream = 0xC4DE;
 
 std::uint32_t largest_pow2_at_most(std::uint32_t n) {
   std::uint32_t p = 1;
@@ -139,6 +142,9 @@ SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
     }();
 
     auto sim = net.make_simulator(s.seed);
+    if (s.churn.any())
+      sim->inject_failures(make_failure_schedule(
+          net.topology(), s.churn, split_seed(s.seed, kChurnStream)));
     r.diameter = net.diameter();
     const Workload& w = s.workload;
     if (w.motif) {
@@ -168,6 +174,17 @@ SimResult Engine::evaluate_sim(const SimScenario& s, std::size_t index) {
     }
     r.events = sim->events_processed();
     r.packets = sim->packets_forwarded();
+    r.reroutes = sim->packets_rerouted();
+    r.drops = sim->packets_dropped();
+    // Fraction of *scheduled* messages fully delivered (r.messages itself
+    // stays the delivered count, as before churn existed).
+    const std::size_t scheduled = sim->messages().size();
+    r.delivered = scheduled ? static_cast<double>(sim->messages_delivered()) /
+                                  static_cast<double>(scheduled)
+                            : 1.0;
+    if (sim->first_failure_ns() < std::numeric_limits<double>::infinity())
+      r.post_churn_p99_ns =
+          sim->latency_since(sim->first_failure_ns()).percentile(0.99);
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;

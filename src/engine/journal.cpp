@@ -225,8 +225,11 @@ std::optional<SimResult> CampaignJournal::parse_sim_result(
       get_f64(j, "mean_latency_ns", r.mean_latency_ns) &&
       get_f64(j, "p99_latency_ns", r.p99_latency_ns) &&
       get_f64(j, "completion_ns", r.completion_ns) &&
-      get_u64(j, "messages", r.messages) && get_u64(j, "events", r.events) &&
-      get_u64(j, "packets", r.packets);
+      get_u64(j, "messages", r.messages) &&
+      get_f64(j, "delivered", r.delivered) &&
+      get_u64(j, "reroutes", r.reroutes) && get_u64(j, "drops", r.drops) &&
+      get_f64(j, "post_churn_p99_ns", r.post_churn_p99_ns) &&
+      get_u64(j, "events", r.events) && get_u64(j, "packets", r.packets);
   if (!fields) return std::nullopt;
   if (jsonl_row(r) != line + "\n") return std::nullopt;
   return r;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "graph/failures.hpp"
 #include "layout/cabinets.hpp"
 #include "routing/policy.hpp"
 #include "sim/motifs.hpp"
@@ -79,6 +80,10 @@ struct Scenario {
   // (seeded) before evaluation, so cached pristine artifacts are reused
   // only as the base graph.
   double failure_fraction = 0.0;
+  // kSimulate: mid-run link/router churn (graph/failures.hpp).  Unlike
+  // failure_fraction (static, pre-run deletion) the topology stays
+  // pristine and the schedule fires inside the event loop.
+  ChurnSpec churn;
   std::uint64_t seed = 1;
 };
 
@@ -140,6 +145,10 @@ struct SimScenario {
   Workload workload;
   std::uint32_t vcs = 0;  // 0 = the paper's diameter-based sizing rule
   double failure_fraction = 0.0;  // > 0: seeded link deletion before the run
+  // Mid-run churn timeline (none when !churn.any()); the schedule itself
+  // is derived deterministically from `seed` inside the engine, so the
+  // spec is the whole axis value and folds into the decl fingerprint.
+  ChurnSpec churn;
   std::uint64_t seed = 1;
   std::string label;  // free-form tag echoed into the result
 };
@@ -154,6 +163,7 @@ struct SimScenario {
   out.workload = s.workload;
   out.vcs = s.vcs;
   out.failure_fraction = s.failure_fraction;
+  out.churn = s.churn;
   out.seed = s.seed;
   out.label = std::move(label);
   return out;
@@ -172,6 +182,15 @@ struct SimResult {
   double p99_latency_ns = 0.0;
   double completion_ns = 0.0;
   std::uint64_t messages = 0;
+
+  // Churn metrics (bench_churn availability curves).  delivered is the
+  // fraction of scheduled messages fully delivered (1.0 when no churn);
+  // post_churn_p99_ns is the p99 over messages delivered at or after the
+  // first failure (0 when no failure fired).
+  double delivered = 1.0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t drops = 0;
+  double post_churn_p99_ns = 0.0;
 
   // Work counters for perf records (BENCH_sim.json): simulator events
   // processed and packet-hops forwarded by this scenario's run.

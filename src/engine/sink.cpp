@@ -63,7 +63,8 @@ std::string json_str(const std::string& s) {
 const char* csv_header(bool sim) {
   return sim
              ? "index,topology,label,ok,error,diameter,max_latency_ns,"
-               "mean_latency_ns,p99_latency_ns,completion_ns,messages,events,"
+               "mean_latency_ns,p99_latency_ns,completion_ns,messages,"
+               "delivered,reroutes,drops,post_churn_p99_ns,events,"
                "packets,wall_ms\n"
              : "index,topology,kind,ok,error,vertices,radix,connected,diameter,"
                "mean_hops,girth,bisection,normalized_bisection,lambda,mu1,"
@@ -98,8 +99,9 @@ std::string csv_row(const SimResult& r) {
       << (r.ok ? 1 : 0) << ',' << quoted(r.error) << ',' << fmt(r.diameter)
       << ',' << fmt(r.max_latency_ns) << ',' << fmt(r.mean_latency_ns) << ','
       << fmt(r.p99_latency_ns) << ',' << fmt(r.completion_ns) << ','
-      << r.messages << ',' << r.events << ',' << r.packets << ','
-      << fmt(r.wall_ms) << '\n';
+      << r.messages << ',' << fmt(r.delivered) << ',' << r.reroutes << ','
+      << r.drops << ',' << fmt(r.post_churn_p99_ns) << ','
+      << r.events << ',' << r.packets << ',' << fmt(r.wall_ms) << '\n';
   return out.str();
 }
 
@@ -143,8 +145,11 @@ std::string jsonl_row(const SimResult& r) {
       << ",\"mean_latency_ns\":" << jnum(r.mean_latency_ns)
       << ",\"p99_latency_ns\":" << jnum(r.p99_latency_ns)
       << ",\"completion_ns\":" << jnum(r.completion_ns)
-      << ",\"messages\":" << r.messages << ",\"events\":" << r.events
-      << ",\"packets\":" << r.packets << "}\n";
+      << ",\"messages\":" << r.messages
+      << ",\"delivered\":" << jnum(r.delivered)
+      << ",\"reroutes\":" << r.reroutes << ",\"drops\":" << r.drops
+      << ",\"post_churn_p99_ns\":" << jnum(r.post_churn_p99_ns)
+      << ",\"events\":" << r.events << ",\"packets\":" << r.packets << "}\n";
   return out.str();
 }
 

@@ -15,6 +15,12 @@ enum class EventKind : std::uint8_t {
   kTryTransmit,    // a = port id
   kCreditReturn,   // a = port id, b = (vc << 32) | bytes
   kDeliver,        // a = packet id
+  // Dynamic fault injection (DESIGN.md §7): scheduled by
+  // Simulator::inject_failures from a graph-layer FailureSchedule.
+  kLinkDown,       // a = router u, b = router v
+  kLinkUp,         // a = router u, b = router v
+  kRouterDown,     // a = router
+  kRouterUp,       // a = router
 };
 
 struct Event {

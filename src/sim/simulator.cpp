@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -55,6 +56,7 @@ Simulator::Simulator(const Graph& topo, const routing::Tables& tables,
     ports_.push_back(ej);
   }
   port_bytes_.assign(ports_.size(), 0);
+  link_down_.assign(ports_.size(), 0);
 
   // Flat per-(port, VC) queue state.  Network and injection ports push
   // into a downstream router input buffer and are credit-limited;
@@ -127,6 +129,7 @@ MessageId Simulator::send(EndpointId src, EndpointId dst, std::uint32_t bytes,
   MessageId m = static_cast<MessageId>(msgs_.size());
   msgs_.push_back({src, dst, bytes, when, -1.0, tag});
   msg_remaining_.push_back((bytes + cfg_.packet_bytes - 1) / cfg_.packet_bytes);
+  msg_failed_.push_back(0);
   events_.push(when, EventKind::kInjectMessage, m);
   return m;
 }
@@ -172,9 +175,7 @@ void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
   }
 
   const routing::NextHopIndex& idx = *index_;
-  const std::uint64_t entropy =
-      split_seed(cfg_.seed, (static_cast<std::uint64_t>(pkt.msg) << 16) ^
-                                (static_cast<std::uint64_t>(pkt.hops) << 8) ^ router);
+  const std::uint64_t entropy = packet_entropy(pkt, router);
   if (pkt.hops == 0) {
     // Source-router routing decision (minimal vs Valiant vs UGAL); queue
     // probes address output ports directly by slot, O(1) each.
@@ -183,6 +184,23 @@ void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
         [this](Vertex at, std::uint16_t slot) {
           return ports_[net_port_base_[at] + slot].total_bytes;
         });
+  }
+  if (down_ports_ > 0) {
+    // Churn-aware forwarding: filter the minimal set to live links, fall
+    // back to non-minimal live-distance descent, drop when the
+    // destination is unreachable.  Reverts to the pristine path below the
+    // moment every link has recovered.
+    const std::uint32_t port = churn_output_port(pkt, router, dst_router, entropy);
+    if (port == kNoPort) {
+      drop_packet(pkt_id);
+      return;
+    }
+    const std::uint8_t vc = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(pkt.hops, cfg_.vcs - 1));
+    pkt.vc = vc;
+    enqueue(port, pkt_id, vc);
+    try_transmit(port);
+    return;
   }
   std::uint32_t slot;
   if (cfg_.algo == routing::Algo::kAdaptiveMin) {
@@ -213,6 +231,7 @@ void Simulator::handle_arrival(std::uint32_t pkt_id, Vertex router) {
 
 void Simulator::try_transmit(std::uint32_t port_id) {
   Port& p = ports_[port_id];
+  if (link_down_[port_id]) return;  // severed: recovery re-arms this port
   const std::size_t lane0 = static_cast<std::size_t>(port_id) * cfg_.vcs;
   while (true) {
     if (now_ < p.busy_until) {
@@ -280,7 +299,10 @@ void Simulator::try_transmit(std::uint32_t port_id) {
 void Simulator::handle_deliver(std::uint32_t pkt_id) {
   const Packet& pkt = packets_[pkt_id];
   MessageRecord& rec = msgs_[pkt.msg];
-  if (--msg_remaining_[pkt.msg] == 0) {
+  // A message with any dropped packet never completes: its surviving
+  // packets still drain (and release credits/pool slots), but no latency
+  // sample or delivery callback fires for a partial payload.
+  if (--msg_remaining_[pkt.msg] == 0 && !msg_failed_[pkt.msg]) {
     rec.delivered_ns = now_;
     latency_.record(now_ - rec.created_ns);
     if (now_ > completion_) completion_ = now_;
@@ -323,9 +345,279 @@ bool Simulator::run(double until, std::uint64_t max_events) {
       case EventKind::kDeliver:
         handle_deliver(static_cast<std::uint32_t>(e.a));
         break;
+      case EventKind::kLinkDown:
+        fault_link(static_cast<Vertex>(e.a), static_cast<Vertex>(e.b), true);
+        break;
+      case EventKind::kLinkUp:
+        fault_link(static_cast<Vertex>(e.a), static_cast<Vertex>(e.b), false);
+        break;
+      case EventKind::kRouterDown:
+        fault_router(static_cast<Vertex>(e.a), true);
+        break;
+      case EventKind::kRouterUp:
+        fault_router(static_cast<Vertex>(e.a), false);
+        break;
     }
   }
   return events_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic fault injection (DESIGN.md §7).
+
+void Simulator::inject_failures(const FailureSchedule& schedule) {
+  const Vertex n = topo_.num_vertices();
+  if (!churn_enabled_) {
+    churn_enabled_ = true;
+    // Preallocate every churn-path buffer now, so fault events and the
+    // reroute/drop machinery stay allocation-free inside run().
+    live_dist_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+    bfs_queue_.resize(n);
+    std::uint32_t max_deg = 0;
+    for (Vertex r = 0; r < n; ++r) max_deg = std::max(max_deg, topo_.degree(r));
+    fault_ports_.reserve(2ull * max_deg);
+  }
+  for (const auto& ev : schedule) {
+    if (!(ev.time_ns >= 0.0) || !std::isfinite(ev.time_ns))
+      throw std::invalid_argument("inject_failures: event time must be finite and >= 0");
+    const bool link = ev.kind == ChurnKind::kLinkDown || ev.kind == ChurnKind::kLinkUp;
+    if (ev.u >= n || (link && ev.v >= n))
+      throw std::out_of_range("inject_failures: vertex out of range");
+    if (link && !topo_.has_edge(ev.u, ev.v))
+      throw std::invalid_argument("inject_failures: no such link");
+    switch (ev.kind) {
+      case ChurnKind::kLinkDown:
+        events_.push(ev.time_ns, EventKind::kLinkDown, ev.u, ev.v);
+        break;
+      case ChurnKind::kLinkUp:
+        events_.push(ev.time_ns, EventKind::kLinkUp, ev.u, ev.v);
+        break;
+      case ChurnKind::kRouterDown:
+        events_.push(ev.time_ns, EventKind::kRouterDown, ev.u);
+        break;
+      case ChurnKind::kRouterUp:
+        events_.push(ev.time_ns, EventKind::kRouterUp, ev.u);
+        break;
+    }
+  }
+}
+
+std::uint64_t Simulator::packet_entropy(const Packet& pkt, Vertex router) const {
+  return split_seed(cfg_.seed, (static_cast<std::uint64_t>(pkt.msg) << 16) ^
+                                   (static_cast<std::uint64_t>(pkt.hops) << 8) ^
+                                   router);
+}
+
+Vertex Simulator::port_owner(std::uint32_t port) const {
+  auto it = std::upper_bound(net_port_base_.begin(), net_port_base_.end(), port);
+  return static_cast<Vertex>(it - net_port_base_.begin() - 1);
+}
+
+void Simulator::fault_link(Vertex u, Vertex v, bool down) {
+  fault_ports_.clear();
+  fault_ports_.push_back(port_toward(u, v));
+  fault_ports_.push_back(port_toward(v, u));
+  settle_fault(fault_ports_.data(), fault_ports_.size(), down);
+}
+
+void Simulator::fault_router(Vertex r, bool down) {
+  // A dead router severs every incident link in both directions; its NIC
+  // ports keep draining, so already-arrived traffic ejects and locally
+  // injected packets reach a (now isolated) switch that drops them unless
+  // the destination is router-local.
+  fault_ports_.clear();
+  const auto nbs = topo_.neighbors(r);
+  const std::uint32_t base = net_port_base_[r];
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    fault_ports_.push_back(base + static_cast<std::uint32_t>(i));
+    fault_ports_.push_back(port_toward(nbs[i], r));
+  }
+  settle_fault(fault_ports_.data(), fault_ports_.size(), down);
+}
+
+void Simulator::settle_fault(const std::uint32_t* ports, std::size_t count,
+                             bool down) {
+  // Depth-counted port state: a link failure and a router failure can
+  // overlap on the same port, and the port is live only at depth 0.
+  bool changed = false;
+  if (down) {
+    if (now_ < first_failure_ns_) first_failure_ns_ = now_;
+    for (std::size_t i = 0; i < count; ++i)
+      if (link_down_[ports[i]]++ == 0) {
+        ++down_ports_;
+        changed = true;
+      }
+  } else {
+    for (std::size_t i = 0; i < count; ++i)
+      if (link_down_[ports[i]] && --link_down_[ports[i]] == 0) {
+        --down_ports_;
+        changed = true;
+      }
+  }
+  if (changed) rebuild_live_dist();
+  // Evacuate after the distance rebuild: rerouting consults the updated
+  // field.  Recovery instead wakes the port (new traffic may already be
+  // minimal through it; its own queue emptied when it went down).
+  for (std::size_t i = 0; i < count; ++i) {
+    if (down)
+      evacuate_port(ports[i]);
+    else if (link_down_[ports[i]] == 0)
+      try_transmit(ports[i]);
+  }
+}
+
+void Simulator::rebuild_live_dist() {
+  if (down_ports_ == 0) return;  // fully recovered: routing ignores the field
+  const Vertex n = topo_.num_vertices();
+  for (Vertex s = 0; s < n; ++s) {
+    std::uint16_t* row = live_dist_.data() + static_cast<std::size_t>(s) * n;
+    std::fill(row, row + n, kUnreachable);
+    row[s] = 0;
+    std::size_t head = 0, tail = 0;
+    bfs_queue_[tail++] = s;
+    while (head < tail) {
+      const Vertex u = bfs_queue_[head++];
+      const std::uint32_t base = net_port_base_[u];
+      const std::uint16_t du = row[u];
+      const auto nbs = topo_.neighbors(u);
+      for (std::size_t i = 0; i < nbs.size(); ++i) {
+        if (link_down_[base + i]) continue;
+        if (row[nbs[i]] != kUnreachable) continue;
+        row[nbs[i]] = static_cast<std::uint16_t>(du + 1);
+        bfs_queue_[tail++] = nbs[i];
+      }
+    }
+  }
+}
+
+void Simulator::evacuate_port(std::uint32_t port_id) {
+  Port& p = ports_[port_id];
+  if (p.total_bytes == 0) return;
+  const Vertex u = port_owner(port_id);
+  const std::size_t lane0 = static_cast<std::size_t>(port_id) * cfg_.vcs;
+  for (std::uint32_t vc = 0; vc < cfg_.vcs; ++vc) {
+    std::uint32_t id = q_head_[lane0 + vc];
+    q_head_[lane0 + vc] = kNil;
+    q_tail_[lane0 + vc] = kNil;
+    while (id != kNil) {
+      const std::uint32_t next = packets_[id].next_in_q;
+      Packet& pkt = packets_[id];
+      p.total_bytes -= pkt.bytes;
+      ++rerouted_;
+      const std::uint32_t out =
+          churn_output_port(pkt, u, router_of(pkt.dst_ep), packet_entropy(pkt, u));
+      if (out == kNoPort) {
+        drop_packet(id);
+      } else {
+        enqueue(out, id, pkt.vc);
+        try_transmit(out);
+      }
+      id = next;
+    }
+  }
+}
+
+std::uint32_t Simulator::churn_output_port(Packet& pkt, Vertex router,
+                                           Vertex dst_router,
+                                           std::uint64_t entropy) {
+  // Resolve the Valiant phase against the live topology: an unreachable
+  // intermediate is abandoned rather than chased.
+  Vertex target = dst_router;
+  if (pkt.route.valiant && pkt.route.phase == 0) {
+    if (router == pkt.route.intermediate ||
+        live_dist(router, pkt.route.intermediate) == kUnreachable)
+      pkt.route.phase = 1;
+    else
+      target = pkt.route.intermediate;
+  }
+  const std::uint32_t base = net_port_base_[router];
+  if (pkt.hops < kChurnHopLimit) {
+    // Pristine-minimal next hops filtered to live links.  With every link
+    // up this picks exactly what the static path picks (same set, same
+    // entropy % count draw), so recovered runs converge back bitwise.
+    const auto row = index_->hops(router, target);
+    if (cfg_.algo == routing::Algo::kAdaptiveMin) {
+      std::uint64_t best_q = ~0ull;
+      std::uint32_t best = kNoPort;
+      for (std::uint32_t i = 0; i < row.count; ++i) {
+        const std::uint32_t port = base + row.slots[i];
+        if (link_down_[port]) continue;
+        if (ports_[port].total_bytes < best_q) {
+          best_q = ports_[port].total_bytes;
+          best = port;
+        }
+      }
+      if (best != kNoPort) return best;
+    } else {
+      std::uint32_t live = 0;
+      for (std::uint32_t i = 0; i < row.count; ++i)
+        live += link_down_[base + row.slots[i]] == 0;
+      if (live > 0) {
+        std::uint32_t k = static_cast<std::uint32_t>(entropy % live);
+        for (std::uint32_t i = 0; i < row.count; ++i) {
+          if (link_down_[base + row.slots[i]]) continue;
+          if (k-- == 0) return base + row.slots[i];
+        }
+      }
+    }
+  }
+  // Minimal set severed (or the hop cap fired): descend the live distance
+  // field.  Every such hop strictly decreases the live distance, so mixed
+  // minimal/detour trajectories terminate; past kChurnHopLimit only this
+  // rule runs.
+  if (live_dist(router, target) == kUnreachable) {
+    if (target != dst_router) {
+      pkt.route.phase = 1;  // abandon the unreachable Valiant leg
+      return churn_output_port(pkt, router, dst_router, entropy);
+    }
+    return kNoPort;
+  }
+  const auto nbs = topo_.neighbors(router);
+  std::uint16_t best = kUnreachable;
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (link_down_[base + i]) continue;
+    const std::uint16_t d = live_dist(nbs[i], target);
+    if (d < best) {
+      best = d;
+      count = 1;
+    } else if (d == best) {
+      ++count;
+    }
+  }
+  ++rerouted_;
+  std::uint32_t k = static_cast<std::uint32_t>(entropy % count);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (link_down_[base + i]) continue;
+    if (live_dist(nbs[i], target) != best) continue;
+    if (k-- == 0) return base + static_cast<std::uint32_t>(i);
+  }
+  return kNoPort;  // unreachable: count >= 1 whenever live_dist is finite
+}
+
+void Simulator::drop_packet(std::uint32_t pkt_id) {
+  Packet& pkt = packets_[pkt_id];
+  ++dropped_;
+  if (!msg_failed_[pkt.msg]) {
+    msg_failed_[pkt.msg] = 1;
+    ++msgs_undeliverable_;
+  }
+  --msg_remaining_[pkt.msg];
+  // The packet dies occupying this router's input buffer: hand the credit
+  // back upstream immediately so neither the upstream VC nor the packet
+  // pool leaks capacity.
+  if (pkt.upstream_port != kNoPort)
+    events_.push(now_, EventKind::kCreditReturn, pkt.upstream_port,
+                 (static_cast<std::uint64_t>(pkt.upstream_vc) << 32) | pkt.bytes);
+  free_packet(pkt_id);
+}
+
+LatencyStats Simulator::latency_since(double t0) const {
+  LatencyStats out;
+  out.reserve(msgs_.size());
+  for (const auto& rec : msgs_)
+    if (rec.delivered_ns >= t0) out.record(rec.delivered_ns - rec.created_ns);
+  return out;
 }
 
 }  // namespace sfly::sim

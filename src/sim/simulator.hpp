@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/failures.hpp"
 #include "graph/graph.hpp"
 #include "routing/next_hop_index.hpp"
 #include "routing/policy.hpp"
@@ -94,6 +95,37 @@ class Simulator {
   [[nodiscard]] std::uint64_t packets_forwarded() const { return packets_forwarded_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Schedule a deterministic link/router churn timeline (DESIGN.md §7).
+  /// Call before (or between) run()s; events land in the ordinary event
+  /// queue.  When a link goes down its two directed ports stop
+  /// transmitting and their queued packets re-route from the owning
+  /// router (non-minimal hops when the minimal set is severed; counted
+  /// drops with upstream-credit reconciliation when the destination is
+  /// unreachable); recovery re-enables the ports.  A router-down event
+  /// severs every incident link at once — local NIC injection/ejection
+  /// keeps draining, so intra-router traffic survives.
+  void inject_failures(const FailureSchedule& schedule);
+
+  /// Packets diverted by churn: queued packets evacuated off a severed
+  /// port plus per-hop decisions that left the pristine minimal set.
+  [[nodiscard]] std::uint64_t packets_rerouted() const { return rerouted_; }
+  /// Packets dropped because their destination router was unreachable in
+  /// the live (post-churn) topology at decision time.
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  /// Messages with at least one dropped packet (never delivered).
+  [[nodiscard]] std::uint64_t messages_undeliverable() const {
+    return msgs_undeliverable_;
+  }
+  /// Fully delivered messages (each contributes one latency sample).
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return latency_.count();
+  }
+  /// Time of the first down event processed; +infinity when none fired.
+  [[nodiscard]] double first_failure_ns() const { return first_failure_ns_; }
+  /// Latency stats restricted to messages delivered at or after `t0` —
+  /// the post-churn tail when t0 = first_failure_ns().
+  [[nodiscard]] LatencyStats latency_since(double t0) const;
+
   /// Bytes currently queued across all VCs of the output port from
   /// `router` toward its neighbor `neighbor` — UGAL's congestion signal.
   /// O(1): a running per-port counter maintained by enqueue/dequeue (the
@@ -150,6 +182,35 @@ class Simulator {
   std::uint32_t alloc_packet(const Packet& p);
   void free_packet(std::uint32_t id);
 
+  // --- dynamic-fault machinery (DESIGN.md §7) --------------------------
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+  // Past this many hops a churned packet routes strictly downhill on the
+  // live distance field, so mixed minimal/detour decisions cannot livelock
+  // (and uint8 hop counters stay far from wrapping: 64 + live diameter).
+  static constexpr std::uint32_t kChurnHopLimit = 64;
+
+  [[nodiscard]] std::uint16_t live_dist(Vertex u, Vertex v) const {
+    return live_dist_[static_cast<std::size_t>(u) * topo_.num_vertices() + v];
+  }
+  [[nodiscard]] Vertex port_owner(std::uint32_t port) const;
+  void fault_link(Vertex u, Vertex v, bool down);
+  void fault_router(Vertex r, bool down);
+  // Shared tail of fault_link/fault_router once port depths changed:
+  // rebuild the live-distance field, then evacuate (down) or wake (up)
+  // every transitioned port.
+  void settle_fault(const std::uint32_t* ports, std::size_t count, bool down);
+  void rebuild_live_dist();
+  void evacuate_port(std::uint32_t port);
+  // Churn-aware output choice from `router` (kNoPort = dst unreachable):
+  // live pristine-minimal hops first, greedy live-distance descent when
+  // the minimal set is severed (counted as a reroute).
+  [[nodiscard]] std::uint32_t churn_output_port(Packet& pkt, Vertex router,
+                                                Vertex dst_router,
+                                                std::uint64_t entropy);
+  void drop_packet(std::uint32_t pkt_id);
+  [[nodiscard]] std::uint64_t packet_entropy(const Packet& pkt,
+                                             Vertex router) const;
+
   const Graph& topo_;
   const routing::Tables& tables_;
   std::shared_ptr<const routing::NextHopIndex> index_;
@@ -172,8 +233,26 @@ class Simulator {
 
   std::vector<MessageRecord> msgs_;
   std::vector<std::uint32_t> msg_remaining_;   // undelivered packets per message
+  std::vector<std::uint8_t> msg_failed_;       // >= 1 packet dropped
 
   std::vector<std::uint64_t> port_bytes_;  // forwarded bytes per port
+
+  // Dynamic-fault state.  link_down_ is a per-port down depth (a link and
+  // a router failure can overlap; the port is live iff the depth is 0) —
+  // always sized, only ever nonzero after inject_failures.  The live
+  // distance field (BFS over surviving links, rebuilt per churn event
+  // into preallocated storage) backs non-minimal fallback routing and the
+  // unreachable-destination drop decision.
+  std::vector<std::uint8_t> link_down_;
+  std::uint32_t down_ports_ = 0;       // network ports with depth > 0
+  bool churn_enabled_ = false;
+  std::vector<std::uint16_t> live_dist_;  // n*n; kUnreachable = severed
+  std::vector<Vertex> bfs_queue_;
+  std::vector<std::uint32_t> fault_ports_;  // scratch for settle_fault
+  std::uint64_t rerouted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t msgs_undeliverable_ = 0;
+  double first_failure_ns_ = std::numeric_limits<double>::infinity();
 
   EventQueue events_;
   double now_ = 0.0;

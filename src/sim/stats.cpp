@@ -20,6 +20,11 @@ double LatencyStats::percentile(double p) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Clamp into [0, 1]: out-of-range p (including NaN, which fails both
+  // comparisons) would compute an out-of-range index — a negative idx
+  // casts to a huge size_t and reads out of bounds.
+  if (!(p > 0.0)) return samples_.front();
+  if (p >= 1.0) return samples_.back();
   double idx = p * static_cast<double>(samples_.size() - 1);
   std::size_t lo = static_cast<std::size_t>(std::floor(idx));
   std::size_t hi = std::min(lo + 1, samples_.size() - 1);

@@ -1,6 +1,8 @@
 #include "util/options.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -60,6 +62,21 @@ std::uint64_t Flags::get(const std::string& name, std::uint64_t dflt) const {
       if (auto v = parse_u64(value)) return *v;
       std::fprintf(stderr,
                    "error: %s expects a non-negative number, got '%s'\n",
+                   name.c_str(), value.c_str());
+      std::exit(2);
+    }
+  return dflt;
+}
+
+double Flags::get_f64(const std::string& name, double dflt) const {
+  for (const auto& [flag, value] : values_)
+    if (flag == name) {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (!value.empty() && end == value.c_str() + value.size() &&
+          std::isfinite(v))
+        return v;
+      std::fprintf(stderr, "error: %s expects a finite number, got '%s'\n",
                    name.c_str(), value.c_str());
       std::exit(2);
     }

@@ -54,6 +54,9 @@ class Flags {
   /// does not parse exactly as a non-negative integer.
   [[nodiscard]] std::uint64_t get(const std::string& name,
                                   std::uint64_t dflt) const;
+  /// Value of a real-valued flag (e.g. --load 0.5); prints an error and
+  /// exits 2 when the value does not parse exactly as a finite double.
+  [[nodiscard]] double get_f64(const std::string& name, double dflt) const;
   [[nodiscard]] std::string get_str(const std::string& name,
                                     const std::string& dflt = "") const;
   [[nodiscard]] const std::vector<FlagSpec>& known() const { return known_; }

@@ -109,6 +109,48 @@ TEST(AllocationCounter, ZeroSteadyStateAllocationsPerEvent) {
       << (total_events - total_events / 2) << " events)";
 }
 
+TEST(AllocationCounter, ZeroSteadyStateAllocationsUnderChurn) {
+  // Same congested workload, now with live churn (DESIGN.md §7): one
+  // link stays down from 1000 ns on and another bounces down/up, so
+  // every transition — queue evacuation, credit handback, live-distance
+  // rebuild — lands inside the warm-up half, and the entire second half
+  // routes over the degraded topology through the churn path.  The
+  // steady-state bar is the same: not a single heap allocation.
+  core::NetworkOptions opts;
+  opts.concentration = 4;
+  opts.routing = routing::Algo::kUgalL;
+  auto net = core::Network::from_graph("Paley(13)", topo::paley_graph({13}), opts);
+  const FailureSchedule schedule = {
+      {1000.0, ChurnKind::kLinkDown, 0, 1},  // no repair: degraded forever
+      {1500.0, ChurnKind::kLinkDown, 0, 3},
+      {2500.0, ChurnKind::kLinkUp, 0, 3}};
+
+  std::uint64_t total_events = 0;
+  {
+    auto sim = congested_sim(net);
+    sim->inject_failures(schedule);
+    ASSERT_TRUE(sim->run());
+    total_events = sim->events_processed();
+  }
+  ASSERT_GT(total_events, 10000u);
+
+  auto sim = congested_sim(net);
+  sim->inject_failures(schedule);
+  sim->run(std::numeric_limits<double>::infinity(), total_events / 2);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  const bool drained = sim->run();
+  g_counting.store(false);
+
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(sim->events_processed(), total_events);
+  EXPECT_GT(sim->packets_rerouted(), 0u);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "simulator allocated during the churn steady-state half ("
+      << (total_events - total_events / 2) << " events)";
+}
+
 TEST(AllocationCounter, CounterSeesOrdinaryAllocations) {
   g_allocs.store(0);
   g_counting.store(true);

@@ -132,6 +132,32 @@ TEST(CampaignBuilder, ExpansionMatchesHandRolledFig8Grid) {
   for (std::size_t i = 0; i < ref.size(); ++i) expect_sim_equal(got[i], ref[i], i);
 }
 
+TEST(CampaignBuilder, ChurnAxisExpandsWithLabels) {
+  // The churn axis is labeled: result rows carry the level ("none",
+  // "2L", "2L+1R~", ...) and every scenario inherits the full spec.
+  ChurnSpec two_links;
+  two_links.link_kills = 2;
+  two_links.start_ns = 100.0;
+  two_links.window_ns = 400.0;
+  ChurnSpec healing = two_links;
+  healing.router_kills = 1;
+  healing.repair_ns = 700.0;
+  CampaignBuilder grid;
+  grid.churns({ChurnSpec{}, two_links, healing}).topologies(two_topologies());
+  auto got = grid.expand_sims();
+  ASSERT_EQ(got.size(), 6u);  // churn-major over 2 topologies
+  EXPECT_EQ(got[0].label, "none");
+  EXPECT_FALSE(got[0].churn.any());
+  EXPECT_EQ(got[2].label, "2L");
+  EXPECT_EQ(got[2].churn.link_kills, 2u);
+  EXPECT_EQ(got[2].churn.window_ns, 400.0);
+  EXPECT_EQ(got[4].label, "2L+1R~");
+  EXPECT_EQ(got[4].churn.router_kills, 1u);
+  EXPECT_EQ(got[4].churn.repair_ns, 700.0);
+  EXPECT_EQ(got[4].topology, "Paley(13)");
+  EXPECT_EQ(got[5].topology, "DF(12)");
+}
+
 TEST(CampaignBuilder, EmptyAxisYieldsEmptyGridNotAThrow) {
   // A filter rejecting every candidate (e.g. --max-n smaller than any
   // instance) must degrade to an empty batch, like the hand-rolled loops.

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <set>
 
 #include "graph/builder.hpp"
 #include "graph/failures.hpp"
@@ -132,6 +134,129 @@ TEST(Failures, AdaptiveMeanSkipsNaN) {
       [](std::uint64_t t) { return t % 2 ? 2.0 : std::nan(""); }, 2, 0.10, 1000);
   EXPECT_TRUE(r.converged);
   EXPECT_DOUBLE_EQ(r.mean, 2.0);
+}
+
+TEST(Failures, RejectsOutOfRangeFraction) {
+  auto g = cycle_graph(8);
+  EXPECT_THROW((void)delete_random_edges(g, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)delete_random_edges(g, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)delete_random_edges(g, std::nan(""), 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)delete_random_edges(g, std::numeric_limits<double>::infinity(), 1),
+      std::invalid_argument);
+}
+
+TEST(Failures, AdaptiveMeanAveragesAcrossWaves) {
+  // Wave 1 (x=1, trials 0..9): alternating 10/0, CoV = 1 -> no
+  // convergence.  Wave 2 (x=10, trials 10..109): constant 4 -> converged.
+  // The reported mean must cover the whole counted population (the same
+  // one `trials` reports), not just the last wave's batches.
+  auto r = adaptive_mean(
+      [](std::uint64_t t) { return t < 10 ? (t % 2 ? 10.0 : 0.0) : 4.0; }, 1,
+      0.10, 10'000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.trials, 110u);
+  EXPECT_DOUBLE_EQ(r.mean, (5 * 10.0 + 100 * 4.0) / 110.0);  // not 4.0
+}
+
+// --------------------------------------------------------------------------
+// Dynamic failure schedules (DESIGN.md §7).
+
+TEST(FailureSchedules, DeterministicSortedAndWellFormed) {
+  auto g = complete_graph(8);  // 28 edges
+  ChurnSpec spec;
+  spec.link_kills = 4;
+  spec.router_kills = 2;
+  spec.start_ns = 100.0;
+  spec.window_ns = 900.0;
+  auto s1 = make_failure_schedule(g, spec, 7);
+  auto s2 = make_failure_schedule(g, spec, 7);
+  ASSERT_EQ(s1.size(), 6u);  // no repair: one down event per kill
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].time_ns, s2[i].time_ns);
+    EXPECT_EQ(s1[i].kind, s2[i].kind);
+    EXPECT_EQ(s1[i].u, s2[i].u);
+    EXPECT_EQ(s1[i].v, s2[i].v);
+    if (i) {
+      EXPECT_LE(s1[i - 1].time_ns, s1[i].time_ns);  // chronological
+    }
+    EXPECT_GE(s1[i].time_ns, spec.start_ns);
+    EXPECT_LE(s1[i].time_ns, spec.start_ns + spec.window_ns);
+    if (s1[i].kind == ChurnKind::kLinkDown) {
+      EXPECT_TRUE(g.has_edge(s1[i].u, s1[i].v));  // only real links fail
+    } else {
+      EXPECT_LT(s1[i].u, g.num_vertices());
+    }
+  }
+  // Distinct sample: no link or router is killed twice.
+  std::set<std::pair<Vertex, Vertex>> links;
+  std::set<Vertex> routers;
+  for (const auto& e : s1) {
+    if (e.kind == ChurnKind::kLinkDown) {
+      EXPECT_TRUE(links.insert({std::min(e.u, e.v), std::max(e.u, e.v)}).second);
+    } else {
+      EXPECT_TRUE(routers.insert(e.u).second);
+    }
+  }
+}
+
+TEST(FailureSchedules, RepairPairsEveryDownWithAnUp) {
+  auto g = cycle_graph(12);
+  ChurnSpec spec;
+  spec.link_kills = 3;
+  spec.router_kills = 1;
+  spec.start_ns = 50.0;
+  spec.window_ns = 100.0;
+  spec.repair_ns = 777.0;
+  auto s = make_failure_schedule(g, spec, 3);
+  ASSERT_EQ(s.size(), 8u);  // every down has its matching up
+  for (const auto& down : s) {
+    if (down.kind != ChurnKind::kLinkDown && down.kind != ChurnKind::kRouterDown)
+      continue;
+    const auto up_kind = down.kind == ChurnKind::kLinkDown
+                             ? ChurnKind::kLinkUp
+                             : ChurnKind::kRouterUp;
+    bool paired = false;
+    for (const auto& up : s)
+      paired = paired || (up.kind == up_kind && up.u == down.u &&
+                          up.v == down.v &&
+                          up.time_ns == down.time_ns + spec.repair_ns);
+    EXPECT_TRUE(paired);
+  }
+}
+
+TEST(FailureSchedules, ClampsKillsAndValidatesTimes) {
+  auto g = cycle_graph(4);  // 4 links, 4 routers
+  ChurnSpec spec;
+  spec.link_kills = 99;
+  spec.router_kills = 99;
+  EXPECT_EQ(make_failure_schedule(g, spec, 1).size(), 8u);  // clamped
+
+  ChurnSpec bad;
+  bad.link_kills = 1;
+  bad.start_ns = -1.0;
+  EXPECT_THROW((void)make_failure_schedule(g, bad, 1), std::invalid_argument);
+  bad.start_ns = 0.0;
+  bad.window_ns = std::nan("");
+  EXPECT_THROW((void)make_failure_schedule(g, bad, 1), std::invalid_argument);
+}
+
+TEST(FailureSchedules, ChurnLabels) {
+  ChurnSpec none;
+  EXPECT_EQ(churn_label(none), "none");
+  ChurnSpec links;
+  links.link_kills = 2;
+  EXPECT_EQ(churn_label(links), "2L");
+  ChurnSpec routers;
+  routers.router_kills = 1;
+  EXPECT_EQ(churn_label(routers), "1R");
+  ChurnSpec both = links;
+  both.router_kills = 1;
+  EXPECT_EQ(churn_label(both), "2L+1R");
+  ChurnSpec healing = links;
+  healing.repair_ns = 500.0;
+  EXPECT_EQ(churn_label(healing), "2L~");
 }
 
 }  // namespace

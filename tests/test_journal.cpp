@@ -66,9 +66,16 @@ TEST(JournalRoundTrip, SimResultFieldsSurviveParse) {
       })
       .label([](const Scenario&) { return "lab,\"el\""; });  // exercise escaping
   auto batch = grid.expand_sims();
+  // Fold churn into one scenario so the dynamic-failure columns
+  // (delivered/reroutes/drops/post_churn_p99_ns) round-trip with
+  // non-default values, not just their zeros.
+  batch[0].churn.link_kills = 2;
+  batch[0].churn.start_ns = 100.0;
+  batch[0].churn.window_ns = 500.0;
   batch.push_back({"NoSuchTopology"});  // an ok=false row with an error field
   auto results = eng.run_sims(batch);
   ASSERT_FALSE(results.back().ok);
+  EXPECT_GT(results[0].post_churn_p99_ns, 0.0);  // churn actually fired
 
   for (const auto& r : results) {
     const std::string line = jsonl_row(r);
@@ -87,6 +94,10 @@ TEST(JournalRoundTrip, SimResultFieldsSurviveParse) {
     EXPECT_EQ(parsed->p99_latency_ns, r.p99_latency_ns);
     EXPECT_EQ(parsed->completion_ns, r.completion_ns);
     EXPECT_EQ(parsed->messages, r.messages);
+    EXPECT_EQ(parsed->delivered, r.delivered);
+    EXPECT_EQ(parsed->reroutes, r.reroutes);
+    EXPECT_EQ(parsed->drops, r.drops);
+    EXPECT_EQ(parsed->post_churn_p99_ns, r.post_churn_p99_ns);
     EXPECT_EQ(parsed->events, r.events);
     EXPECT_EQ(parsed->packets, r.packets);
     // And re-serialization is the identity — the property resume rests on.
@@ -388,6 +399,56 @@ TEST(CampaignResume, ChangedSeedIsRejectedBySameShapeJournal) {
   ctl.journal = &journal;
   EXPECT_THROW(run_two_phase(1, {}, ctl, /*seed_base=*/2),
                std::runtime_error);
+}
+
+TEST(CampaignResume, ChangedChurnIsRejectedBySameShapeJournal) {
+  // Same grid shape, different churn spec: the spec folds into the
+  // batch-declaration fingerprint (docs/CAMPAIGNS.md), so a journal from
+  // one failure timeline can never silently seed a resume of another.
+  auto run_churned = [](double window_ns, const std::vector<ResultSink*>& sinks,
+                        RunControl& ctl) {
+    EngineConfig cfg;
+    cfg.threads = 1;
+    Engine eng(cfg);
+    Campaign camp(eng, "churn_test");
+    CampaignBuilder g;
+    ChurnSpec c;
+    c.link_kills = 1;
+    c.start_ns = 100.0;
+    c.window_ns = window_ns;
+    g.churns({c}).topologies(two_topologies()).each([](Scenario& s) {
+      s.workload.pattern = sim::Pattern::kShuffle;
+      s.workload.offered_load = 0.4;
+      s.workload.nranks = 32;
+      s.workload.messages_per_rank = 4;
+    });
+    camp.sims("churn", std::move(g));
+    camp.run(sinks, ctl);
+  };
+  const auto path = tmp_path("churnspec");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    JsonlSink sink(f);
+    RunControl ctl;
+    run_churned(500.0, {&sink}, ctl);
+    std::fclose(f);
+  }
+  const std::string reference = slurp(path);
+  const std::size_t cut = reference.find('\n', reference.find('\n') + 1) + 1;
+  spit(path, reference.substr(0, cut));  // batch header + first row
+  {
+    auto journal = CampaignJournal::load(path);
+    RunControl ctl;
+    ctl.journal = &journal;
+    EXPECT_THROW(run_churned(900.0, {}, ctl), std::runtime_error);
+  }
+  // The identical churn declaration resumes cleanly from the same prefix.
+  auto journal = CampaignJournal::load(path);
+  RunControl ctl;
+  ctl.journal = &journal;
+  run_churned(500.0, {}, ctl);
+  EXPECT_EQ(ctl.replayed, 1u);
+  EXPECT_EQ(ctl.evaluated, 1u);
 }
 
 TEST(CampaignResume, LayoutRowsRefuseToReplay) {
