@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
        "#   --window NS       churn window length (default 4000 ns)\n"
        "#   --repair NS       repair delay for the '~' levels (default 4000 ns)\n"
        "#   --threads N       engine worker threads (default: all hardware threads)\n"
+       "#   --workers N       distribute the campaign across N worker processes\n"
        "#   --profile         print phase timing (artifact build vs scenario eval)\n"
        "#   --bench-json P    write a machine-readable perf record to P",
        {{"--ranks", true, "MPI ranks (default 1024; --full = 8192)"},

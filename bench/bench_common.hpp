@@ -183,13 +183,16 @@ inline void write_phase_record(const std::string& path,
 /// replay count from before this run for multi-sweep benches.
 inline RunStatus finish_run(const engine::RunControl& ctl, bool final_run,
                             std::size_t replayed_before = 0) {
-  if (ctl.replayed > replayed_before)
+  // ctl.quiet (a --worker-fd process): the parent owns stderr reporting
+  // for the whole fleet; the status classification still applies.
+  if (!ctl.quiet && ctl.replayed > replayed_before)
     std::fprintf(stderr, "# resume: replayed %zu journaled scenario(s), "
                          "evaluated %zu\n",
                  ctl.replayed - replayed_before, ctl.evaluated);
   if (ctl.stopped) {
-    std::fprintf(stderr, "# --max-seconds budget reached: journal is "
-                         "resumable with --resume (exit 75)\n");
+    if (!ctl.quiet)
+      std::fprintf(stderr, "# --max-seconds budget reached: journal is "
+                           "resumable with --resume (exit 75)\n");
     return RunStatus::kStopped;
   }
   if (final_run && ctl.unconsumed_segments() > 0) {
@@ -245,7 +248,10 @@ inline RunStatus run_campaign(engine::Campaign& camp, StandardOptions& opts,
     camp.print_plan();
     return RunStatus::kDryRun;
   }
-  if (opts.profile() || materialize) camp.materialize_artifacts();
+  // Under --workers the parent never evaluates scenarios, so building
+  // its artifacts up front would only duplicate the workers' builds.
+  if ((opts.profile() || materialize) && opts.workers() == 0)
+    camp.materialize_artifacts();
   return execute_campaign(camp, opts, extra);
 }
 

@@ -108,13 +108,16 @@ int main(int argc, char** argv) {
       {"Fig. 5: diameter / mean hops / bisection under random edge failures",
        "#   --trials N   trials per point (default 10)\n"
        "#   --threads N  engine worker threads (default: all hardware threads)\n"
+       "#   --workers N  distribute trials across N worker processes\n"
        "#   --full       also run the ~5-7K-router class with more trials",
        {{"--trials", true, "trials per point (default 10; --full = 100)"}}});
   const std::uint64_t max_trials = std::max<std::uint64_t>(
       1, opts.flags().get("--trials", opts.full() ? 100 : 10));
   if (opts.shard().second > 1) {
-    std::fprintf(stderr, "error: --shard is not supported here: adaptive "
-                         "trial scheduling needs every point's results\n");
+    std::fprintf(stderr,
+                 "error: --shard is not supported here: adaptive trial "
+                 "scheduling needs every point's results — use --workers N, "
+                 "which replicates the wave schedule in every process\n");
     return 2;
   }
 

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
        "#   --ranks N         MPI ranks (default 1024; --full = 8192)\n"
        "#   --msgs N          messages per rank (default 24)\n"
        "#   --threads N       engine worker threads (default: all hardware threads)\n"
+       "#   --workers N       distribute the campaign across N worker processes\n"
        "#   --profile         print phase timing (artifact build vs scenario eval)\n"
        "#   --bench-json P    write a machine-readable perf record to P",
        {{"--ranks", true, "MPI ranks (default 1024; --full = 8192)"},

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/dispatch.hpp"
 #include "engine/journal.hpp"
 #include "engine/sink.hpp"
 #include "util/rng.hpp"
@@ -580,7 +581,8 @@ void Campaign::run(const std::vector<ResultSink*>& sinks, RunControl& ctl) {
       live = rest.size();
       std::vector<ResultSink*> all{&collect};
       all.insert(all.end(), sinks.begin(), sinks.end());
-      delivered = eng_.run_sims_stream(rest, all, so);
+      delivered = ctl.runner ? ctl.runner->run_batch(eng_, m, rest, all, so)
+                             : eng_.run_sims_stream(rest, all, so);
     } else {
       CollectSink collect(&ph->results_);
       for (std::size_t k = 0; k < have; ++k) {
@@ -606,7 +608,19 @@ void Campaign::run(const std::vector<ResultSink*>& sinks, RunControl& ctl) {
       live = rest.size();
       std::vector<ResultSink*> all{&collect};
       all.insert(all.end(), sinks.begin(), sinks.end());
-      delivered = eng_.run_stream(rest, all, so);
+      if (ctl.runner) {
+        // Placements are never journaled, so a worker cannot stream a
+        // layout row's payload back — same limitation as --resume.
+        for (const auto& sc : rest)
+          if (sc.kind == Kind::kLayout)
+            throw std::runtime_error(
+                "batch '" + m.batch + "' holds layout scenarios, whose "
+                "placements are not journaled — layout phases cannot run "
+                "under --workers; run this bench single-process");
+        delivered = ctl.runner->run_batch(eng_, m, rest, all, so);
+      } else {
+        delivered = eng_.run_stream(rest, all, so);
+      }
     }
     ctl.replayed += have;
     ctl.evaluated += delivered;
@@ -747,7 +761,9 @@ void AdaptiveSweep::run(const std::vector<ResultSink*>& sinks,
     std::vector<ResultSink*> all{&collect};
     all.insert(all.end(), sinks.begin(), sinks.end());
     const auto t0 = std::chrono::steady_clock::now();
-    const std::size_t delivered = eng_.run_stream(rest, all, so);
+    const std::size_t delivered =
+        ctl.runner ? ctl.runner->run_batch(eng_, m, rest, all, so)
+                   : eng_.run_stream(rest, all, so);
     ctl.evaluated += delivered;
     eval_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -37,6 +37,7 @@
 namespace sfly::engine {
 
 class CampaignJournal;
+class BatchRunner;
 
 /// Execution controls + outcome for Campaign::run / AdaptiveSweep::run —
 /// the checkpoint/restart surface behind `--resume`, `--shard` and
@@ -66,6 +67,15 @@ struct RunControl {
   /// Wall-clock origin for max_seconds (defaults to construction time,
   /// i.e. roughly process start when built by StandardOptions).
   std::chrono::steady_clock::time_point start;
+  /// Pluggable batch evaluator (engine/dispatch.hpp): when set, every
+  /// batch is handed here instead of Engine::run_stream — the `--workers`
+  /// multi-process dispatcher on the parent side, the pipe-fed slice
+  /// evaluator on the worker side.  Non-owning; null = evaluate in-process.
+  BatchRunner* runner = nullptr;
+  /// Suppress bench-side stderr notices (replay/budget epilogues).  Set
+  /// for `--worker-fd` processes, which share the parent's stderr: the
+  /// parent reports once for the whole fleet.
+  bool quiet = false;
 
   // --- outcome ---------------------------------------------------------
   bool stopped = false;        ///< budget fired before completion

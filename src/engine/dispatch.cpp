@@ -1,0 +1,580 @@
+#include "engine/dispatch.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/journal.hpp"
+
+namespace sfly::engine {
+
+namespace dispatch_detail {
+
+std::optional<std::size_t> row_index(const std::string& line) {
+  static constexpr char kPrefix[] = "{\"index\":";
+  static constexpr std::size_t kLen = sizeof(kPrefix) - 1;
+  if (line.rfind(kPrefix, 0) != 0) return std::nullopt;
+  const char* p = line.c_str() + kLen;
+  if (*p < '0' || *p > '9') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace dispatch_detail
+
+namespace {
+
+// Write the full buffer, retrying on EINTR.  A failed write (EPIPE: the
+// receiver died) clears `ok` instead of throwing — the death surfaces as
+// EOF on the worker's result pipe, where the dispatcher handles it.
+void write_all(int fd, const char* data, std::size_t n, bool& ok) {
+  while (ok && n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      return;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+std::string slice_line(std::size_t lo, std::size_t hi) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"slice\":[%zu,%zu]}\n", lo, hi);
+  return buf;
+}
+
+bool parse_slice(const std::string& line, std::size_t& lo, std::size_t& hi) {
+  unsigned long long a = 0, b = 0;
+  if (std::sscanf(line.c_str(), "{\"slice\":[%llu,%llu]}", &a, &b) != 2)
+    return false;
+  lo = static_cast<std::size_t>(a);
+  hi = static_cast<std::size_t>(b);
+  return true;
+}
+
+// The message payload of a worker's {"error":"..."} line, for the
+// dispatcher's abort diagnostics.
+std::string error_payload(const std::string& line) {
+  static constexpr char kPrefix[] = "{\"error\":\"";
+  std::string msg = line.substr(sizeof(kPrefix) - 1);
+  if (const auto q = msg.rfind("\"}"); q != std::string::npos) msg.erase(q);
+  return msg;
+}
+
+}  // namespace
+
+// --- CampaignDispatcher (parent) -------------------------------------------
+
+CampaignDispatcher::CampaignDispatcher(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0)
+    throw std::invalid_argument("CampaignDispatcher: workers must be >= 1");
+  workers_.resize(cfg_.workers);
+  // A worker can die holding a pipe we are about to write; the write must
+  // fail with EPIPE, not kill the parent.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (const char* spec = std::getenv("SFLY_DISPATCH_TEST_KILL")) {
+    long w = -1;
+    unsigned long k = 0;
+    if (std::sscanf(spec, "%ld:%lu", &w, &k) == 2) {
+      kill_worker_ = w;
+      kill_after_rows_ = static_cast<std::size_t>(k);
+    }
+  }
+}
+
+CampaignDispatcher::~CampaignDispatcher() { shutdown(); }
+
+void CampaignDispatcher::shutdown() {
+  // Closing the control pipe is the fleet-stop signal: a worker blocked
+  // on its next header reads EOF and exits 75.  Workers mid-evaluation
+  // get SIGTERM so teardown does not wait out a long scenario whose
+  // output nobody will read.
+  for (auto& w : workers_) {
+    if (w.ctrl_fd >= 0) ::close(w.ctrl_fd);
+    if (w.out_fd >= 0) ::close(w.out_fd);
+    w.ctrl_fd = w.out_fd = -1;
+  }
+  for (auto& w : workers_) {
+    if (w.pid <= 0) continue;
+    ::kill(w.pid, SIGTERM);
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    w.pid = -1;
+    w.alive = false;
+  }
+}
+
+void CampaignDispatcher::spawn(Worker& w) {
+  int ctrl[2] = {-1, -1}, outp[2] = {-1, -1};
+  if (::pipe(ctrl) != 0 || ::pipe(outp) != 0) {
+    for (int fd : {ctrl[0], ctrl[1], outp[0], outp[1]})
+      if (fd >= 0) ::close(fd);
+    throw std::runtime_error("--workers: pipe() failed");
+  }
+  // A respawned worker gets the budget REMAINING now, so worker deaths
+  // never reset the fleet's wall clock.
+  std::string budget;
+  if (cfg_.max_seconds > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cfg_.start)
+            .count();
+    char b[32];
+    std::snprintf(b, sizeof b, "%.3f",
+                  std::max(0.001, cfg_.max_seconds - elapsed));
+    budget = b;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {ctrl[0], ctrl[1], outp[0], outp[1]}) ::close(fd);
+    throw std::runtime_error("--workers: fork() failed");
+  }
+  if (pid == 0) {
+    // Worker process.  stdout goes to /dev/null: the parent's stdout must
+    // stay byte-identical to a single-process run's, and the worker would
+    // otherwise print its own banner and report.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    ::close(ctrl[1]);
+    ::close(outp[0]);
+    // Sibling pipe ends must not leak into this child, or a sibling's
+    // death would never EOF its pipes.
+    for (const auto& o : workers_) {
+      if (o.ctrl_fd >= 0) ::close(o.ctrl_fd);
+      if (o.out_fd >= 0) ::close(o.out_fd);
+    }
+    std::vector<std::string> args;
+    args.push_back(cfg_.exe);
+    for (const auto& a : cfg_.worker_argv) args.push_back(a);
+    args.push_back("--worker-fd");
+    args.push_back(std::to_string(ctrl[0]) + "," + std::to_string(outp[1]));
+    if (!budget.empty()) {
+      args.push_back("--max-seconds");
+      args.push_back(budget);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(cfg_.exe.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(ctrl[0]);
+  ::close(outp[1]);
+  w.pid = pid;
+  w.ctrl_fd = ctrl[1];
+  w.out_fd = outp[0];
+  w.buf = {};
+  w.rows_received = 0;
+  w.alive = true;
+}
+
+void CampaignDispatcher::send(Worker& w, const std::string& bytes) {
+  bool ok = w.alive && w.ctrl_fd >= 0;
+  write_all(w.ctrl_fd, bytes.data(), bytes.size(), ok);
+  // A failure here is a death in progress; the result-pipe EOF path
+  // classifies and handles it.
+}
+
+void CampaignDispatcher::catch_up(Worker& w) {
+  // Replay the completed-batch history through the normal protocol with
+  // empty slices: the fresh worker's campaign logic consumes each batch
+  // like a --resume replay, reconstructing the in-memory state (and any
+  // adaptive schedule) every other process already holds.
+  for (const auto& rec : history_) {
+    std::string payload = rec.meta_line + slice_line(0, 0);
+    for (const auto& row : rec.rows) {
+      payload += row;
+      payload += '\n';
+    }
+    send(w, payload);
+  }
+}
+
+void CampaignDispatcher::reap(Worker& w) {
+  if (w.ctrl_fd >= 0) ::close(w.ctrl_fd);
+  if (w.out_fd >= 0) ::close(w.out_fd);
+  w.ctrl_fd = w.out_fd = -1;
+  int st = 0;
+  ::waitpid(w.pid, &st, 0);
+  w.pid = -1;
+  w.alive = false;
+  if (WIFEXITED(st) && WEXITSTATUS(st) == 75) {
+    // EX_TEMPFAIL: the worker's own --max-seconds budget fired (or it saw
+    // fleet-stop EOF).  Graceful — the run ends on the delivered prefix.
+    fleet_stopped_ = true;
+  } else {
+    w.needs_respawn = true;
+  }
+}
+
+std::size_t CampaignDispatcher::run_batch(Engine& eng, const BatchMeta& m,
+                                          const std::vector<Scenario>& batch,
+                                          const std::vector<ResultSink*>& sinks,
+                                          const Engine::StreamOptions& opts) {
+  (void)eng;
+  return run_batch_impl(m, batch, sinks, opts,
+                        [](const std::string& line) {
+                          return CampaignJournal::parse_result(line);
+                        });
+}
+
+std::size_t CampaignDispatcher::run_batch(Engine& eng, const BatchMeta& m,
+                                          const std::vector<SimScenario>& batch,
+                                          const std::vector<ResultSink*>& sinks,
+                                          const Engine::StreamOptions& opts) {
+  (void)eng;
+  return run_batch_impl(m, batch, sinks, opts,
+                        [](const std::string& line) {
+                          return CampaignJournal::parse_sim_result(line);
+                        });
+}
+
+template <typename Scen, typename Parse>
+std::size_t CampaignDispatcher::run_batch_impl(
+    const BatchMeta& m, const std::vector<Scen>& batch,
+    const std::vector<ResultSink*>& sinks, const Engine::StreamOptions& opts,
+    Parse&& parse) {
+  const std::size_t n = batch.size();
+  for (auto* s : sinks) s->begin(n);
+  if (n == 0 || fleet_stopped_) {
+    // Fleet already budget-stopped: deliver nothing so the campaign
+    // records the stop and exits 75 (resumable single-process).
+    for (auto* s : sinks) s->end();
+    return 0;
+  }
+
+  const std::size_t W = workers_.size();
+  if (!started_) {
+    started_ = true;
+    for (auto& w : workers_) spawn(w);
+  } else {
+    for (auto& w : workers_) {
+      if (w.alive) continue;
+      revive(w);  // died at broadcast time of an earlier batch
+      catch_up(w);
+    }
+  }
+
+  const std::string meta_line = jsonl_meta(m);
+  for (std::size_t wi = 0; wi < W; ++wi) {
+    auto& w = workers_[wi];
+    const auto [lo, hi] = shard_range(n, wi, W);
+    w.cursor = lo;
+    w.hi = hi;
+    send(w, meta_line + slice_line(lo, hi));
+  }
+
+  std::vector<std::string> rows(n);
+  std::vector<char> have(n, 0);
+  std::size_t next = 0;  // the in-order delivery frontier
+
+  auto deliver_ready = [&] {
+    while (next < n && have[next]) {
+      auto r = parse(rows[next]);
+      if (!r) {
+        shutdown();
+        throw std::runtime_error(
+            "--workers: row " + std::to_string(next) + " of batch '" +
+            m.batch + "' failed the journal round-trip check — wire "
+            "corruption or a worker/parent serialization mismatch");
+      }
+      for (auto* s : sinks) s->consume(*r);
+      ++next;
+    }
+  };
+  auto owner_of = [&](std::size_t idx) -> Worker& {
+    for (std::size_t wi = 0; wi < W; ++wi) {
+      const auto [lo, hi] = shard_range(n, wi, W);
+      if (idx >= lo && idx < hi) return workers_[wi];
+    }
+    return workers_.back();
+  };
+
+  while (next < n) {
+    deliver_ready();
+    if (next >= n) break;
+    // Once the fleet is stopping, the frontier can only advance while the
+    // worker that owns it is still draining; a dead (75-exited) owner
+    // means the batch ends here, on the delivered prefix.
+    if (fleet_stopped_ && !owner_of(next).alive) break;
+    if (!fleet_stopped_ && opts.stop_after && opts.stop_after())
+      fleet_stopped_ = true;  // parent budget: workers stop themselves
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> who;
+    for (std::size_t wi = 0; wi < W; ++wi) {
+      if (!workers_[wi].alive) continue;
+      fds.push_back({workers_[wi].out_fd, POLLIN, 0});
+      who.push_back(wi);
+    }
+    if (fds.empty()) {
+      if (fleet_stopped_) break;
+      shutdown();
+      throw std::runtime_error("--workers: every worker is dead");
+    }
+    const int pr = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      shutdown();
+      throw std::runtime_error("--workers: poll() failed");
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Worker& w = workers_[who[k]];
+      char buf[65536];
+      const ssize_t rd = ::read(w.out_fd, buf, sizeof buf);
+      if (rd < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        reap(w);
+        continue;
+      }
+      if (rd == 0) {
+        // EOF: the complete lines received stand; the half-written tail
+        // in w.buf.pending() is dropped — exactly --resume truncation.
+        reap(w);
+        continue;
+      }
+      std::string err;
+      w.buf.feed(buf, static_cast<std::size_t>(rd), [&](std::string line) {
+        if (!err.empty()) return;
+        if (line.rfind("{\"error\":", 0) == 0) {
+          err = error_payload(line);
+          return;
+        }
+        const auto ri = dispatch_detail::row_index(line);
+        if (!ri || w.cursor >= w.hi || *ri != opts.index_base + w.cursor) {
+          err = "worker sent row index " +
+                (ri ? std::to_string(*ri) : std::string("?")) +
+                " where " + std::to_string(opts.index_base + w.cursor) +
+                " was expected";
+          return;
+        }
+        rows[w.cursor] = std::move(line);
+        have[w.cursor] = 1;
+        ++w.cursor;
+        ++w.rows_received;
+        if (!kill_fired_ && kill_worker_ >= 0 &&
+            static_cast<std::size_t>(kill_worker_) == who[k] &&
+            w.rows_received >= kill_after_rows_) {
+          kill_fired_ = true;  // test hook: deterministic worker death
+          ::kill(w.pid, SIGKILL);
+        }
+      });
+      if (!err.empty()) {
+        shutdown();
+        throw std::runtime_error("--workers: " + err);
+      }
+    }
+    // Respawn deaths and hand each its remaining slice; the fresh worker
+    // replays history first so its campaign state matches the fleet's.
+    for (auto& w : workers_) {
+      if (!w.needs_respawn) continue;
+      w.needs_respawn = false;
+      if (fleet_stopped_) continue;  // stopping anyway: leave the slot dead
+      const std::size_t cur = w.cursor, hi = w.hi;
+      revive(w);
+      catch_up(w);
+      w.cursor = cur;
+      w.hi = hi;
+      send(w, meta_line + slice_line(cur, hi));
+    }
+  }
+  deliver_ready();
+  for (auto* s : sinks) s->end();
+
+  if (next == n) {
+    // Batch complete: record it and broadcast the full row set, so every
+    // worker replays it and all processes' downstream state (report
+    // collections, adaptive wave schedules) stays bitwise identical.
+    history_.push_back({meta_line, rows});
+    std::string payload;
+    for (const auto& row : rows) {
+      payload += row;
+      payload += '\n';
+    }
+    for (auto& w : workers_)
+      if (w.alive) send(w, payload);
+  }
+  return next;
+}
+
+void CampaignDispatcher::revive(Worker& w) {
+  if (++respawns_ > cfg_.max_respawns) {
+    shutdown();
+    throw std::runtime_error(
+        "--workers: worker died " + std::to_string(respawns_ - 1) +
+        " times (crash loop?) — giving up; the journal prefix on disk "
+        "is resumable single-process with --resume");
+  }
+  spawn(w);
+}
+
+// --- CampaignWorker (the --worker-fd process) ------------------------------
+
+CampaignWorker::CampaignWorker(int in_fd, int out_fd) {
+  ::signal(SIGPIPE, SIG_IGN);
+  in_ = ::fdopen(in_fd, "r");
+  out_ = ::fdopen(out_fd, "w");
+  if (!in_ || !out_)
+    throw std::runtime_error(
+        "--worker-fd: cannot open the dispatch pipe fds (this flag is "
+        "passed by the --workers parent, not by hand)");
+}
+
+CampaignWorker::~CampaignWorker() {
+  if (in_) std::fclose(in_);
+  if (out_) std::fclose(out_);
+}
+
+bool CampaignWorker::read_line(std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(in_)) != EOF) {
+    if (c == '\n') return true;
+    line.push_back(static_cast<char>(c));
+  }
+  return false;
+}
+
+void CampaignWorker::fleet_stop() {
+  // Control-pipe EOF (parent gone / fleet shutdown) or our own budget:
+  // flush what we streamed and exit EX_TEMPFAIL, which the parent treats
+  // as a graceful stop, never a death.
+  std::fflush(out_);
+  std::exit(75);
+}
+
+namespace {
+
+// Streams each freshly evaluated row straight to the parent, one flush
+// per line: a kill mid-scenario costs the fleet at most one partial line.
+class PipeRowSink final : public ResultSink {
+ public:
+  explicit PipeRowSink(std::FILE* out) : out_(out) {}
+  void consume(const Result& r) override { put(jsonl_row(r)); }
+  void consume(const SimResult& r) override { put(jsonl_row(r)); }
+  [[nodiscard]] bool wants_replay() const override { return false; }
+
+ private:
+  void put(const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+  }
+  std::FILE* out_;
+};
+
+}  // namespace
+
+std::size_t CampaignWorker::run_batch(Engine& eng, const BatchMeta& m,
+                                      const std::vector<Scenario>& batch,
+                                      const std::vector<ResultSink*>& sinks,
+                                      const Engine::StreamOptions& opts) {
+  return run_batch_impl(
+      m, batch, sinks, opts,
+      [](const std::string& line) { return CampaignJournal::parse_result(line); },
+      [&eng](const std::vector<Scenario>& slice,
+             const std::vector<ResultSink*>& ps,
+             const Engine::StreamOptions& so) {
+        return eng.run_stream(slice, ps, so);
+      });
+}
+
+std::size_t CampaignWorker::run_batch(Engine& eng, const BatchMeta& m,
+                                      const std::vector<SimScenario>& batch,
+                                      const std::vector<ResultSink*>& sinks,
+                                      const Engine::StreamOptions& opts) {
+  return run_batch_impl(
+      m, batch, sinks, opts,
+      [](const std::string& line) {
+        return CampaignJournal::parse_sim_result(line);
+      },
+      [&eng](const std::vector<SimScenario>& slice,
+             const std::vector<ResultSink*>& ps,
+             const Engine::StreamOptions& so) {
+        return eng.run_sims_stream(slice, ps, so);
+      });
+}
+
+template <typename Scen, typename Parse, typename Run>
+std::size_t CampaignWorker::run_batch_impl(const BatchMeta& m,
+                                           const std::vector<Scen>& batch,
+                                           const std::vector<ResultSink*>& sinks,
+                                           const Engine::StreamOptions& opts,
+                                           Parse&& parse, Run&& run) {
+  const std::size_t n = batch.size();
+  for (auto* s : sinks) s->begin(n);
+  if (n == 0) {  // both sides skip the protocol for an empty batch
+    for (auto* s : sinks) s->end();
+    return 0;
+  }
+
+  // The parent's batch header must equal the one THIS binary's declaration
+  // produces, byte for byte — the decl fingerprint inside it catches any
+  // knob skew, so a stale worker binary is refused before evaluating
+  // anything under the wrong declaration.
+  std::string expected = jsonl_meta(m);
+  expected.pop_back();  // read_line strips the terminator
+  if (const char* skew = std::getenv("SFLY_WORKER_DECL_SKEW"); skew && *skew)
+    expected += skew;  // test hook: simulate a stale binary's declaration
+  std::string line;
+  if (!read_line(line)) fleet_stop();
+  if (line != expected) {
+    const std::string err =
+        "{\"error\":\"worker declaration mismatch on batch '" + m.batch +
+        "': this binary expands the campaign differently from the parent "
+        "(stale worker binary?)\"}\n";
+    std::fwrite(err.data(), 1, err.size(), out_);
+    std::fflush(out_);
+    std::exit(2);
+  }
+
+  if (!read_line(line)) fleet_stop();
+  std::size_t lo = 0, hi = 0;
+  if (!parse_slice(line, lo, hi) || lo > hi || hi > n)
+    throw std::runtime_error("--worker-fd: malformed slice assignment '" +
+                             line + "'");
+
+  std::vector<Scen> slice(batch.begin() + static_cast<std::ptrdiff_t>(lo),
+                          batch.begin() + static_cast<std::ptrdiff_t>(hi));
+  PipeRowSink pipe_sink(out_);
+  std::vector<ResultSink*> ps{&pipe_sink};
+  Engine::StreamOptions so;
+  so.index_base = opts.index_base + lo;
+  so.stop_after = opts.stop_after;
+  const std::size_t delivered = run(slice, ps, so);
+  if (delivered < slice.size()) fleet_stop();  // own budget fired mid-slice
+
+  // Batch broadcast: all n rows come back (including this worker's own).
+  // Feeding them to the campaign's sinks keeps every process's collected
+  // results — and any schedule derived from them — bitwise identical.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!read_line(line)) fleet_stop();
+    auto r = parse(line);
+    if (!r || r->index != opts.index_base + i)
+      throw std::runtime_error(
+          "--worker-fd: broadcast row " + std::to_string(i) + " of batch '" +
+          m.batch + "' failed the journal round-trip check");
+    for (auto* s : sinks) s->consume(*r);
+  }
+  for (auto* s : sinks) s->end();
+  return n;
+}
+
+}  // namespace sfly::engine

@@ -1,0 +1,227 @@
+#pragma once
+/// \file dispatch.hpp
+/// Multi-process campaign dispatch — the `--workers N` implementation
+/// (docs/CAMPAIGNS.md §Distributed runs).
+///
+/// CampaignDispatcher farms every campaign batch to N worker processes:
+/// re-execs of the same bench binary, each running the identical campaign
+/// declaration, connected by a pair of pipes whose wire format is the
+/// campaign journal itself.  Per batch the parent sends each worker the
+/// batch's `jsonl_meta` header plus a `{"slice":[lo,hi]}` assignment;
+/// workers evaluate their slice and stream the `jsonl_row` lines back;
+/// the parent interleaves the streams and delivers rows to its sinks
+/// strictly in batch order, live (journal numbers are `%.17g`, so a
+/// parsed row is bitwise the evaluated one and the merged output is
+/// byte-identical to a single-process run).  After each batch the parent
+/// broadcasts the full row set back to every worker, which replays it
+/// like a `--resume` — so all processes' in-memory results, and
+/// therefore every downstream decision (report tables, AdaptiveSweep's
+/// CoV wave schedule), stay bitwise identical.  That replication is what
+/// lets `--workers` drive adaptive sweeps that `--shard` must refuse.
+///
+/// Fault tolerance: a worker that dies (crash, kill -9, nonzero exit)
+/// leaves a partial row stream behind; the parent keeps its complete
+/// lines, drops the half-written tail exactly like `--resume` truncation,
+/// spawns a fresh worker, catches it up through the completed-batch
+/// history (same header/assignment/broadcast protocol, empty slices),
+/// and hands it the dead worker's remaining rows.  A worker exiting 75
+/// (EX_TEMPFAIL, its own `--max-seconds` budget) is a graceful fleet
+/// stop, not a death: the parent stops the batch on the delivered
+/// contiguous prefix and propagates the resumable exit.  A worker whose
+/// re-computed batch header differs from the parent's (a stale binary —
+/// the decl fingerprint catches any knob skew) aborts the whole run.
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sink.hpp"
+
+namespace sfly::engine {
+
+/// Pluggable batch evaluator behind RunControl::runner: Campaign and
+/// AdaptiveSweep hand each batch here instead of calling
+/// Engine::run_stream directly.  Implementations must honor the engine's
+/// streaming contract — sinks get begin(n), rows strictly in batch
+/// order, then end() — and return the delivered count (== batch size
+/// unless the run is stopping).
+class BatchRunner {
+ public:
+  virtual ~BatchRunner() = default;
+  virtual std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                                const std::vector<Scenario>& batch,
+                                const std::vector<ResultSink*>& sinks,
+                                const Engine::StreamOptions& opts) = 0;
+  virtual std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                                const std::vector<SimScenario>& batch,
+                                const std::vector<ResultSink*>& sinks,
+                                const Engine::StreamOptions& opts) = 0;
+};
+
+namespace dispatch_detail {
+
+/// Splits a byte stream into '\n'-terminated lines, holding the
+/// half-written tail until its terminator arrives — the streaming
+/// equivalent of --resume's tail truncation.  If the stream ends (EOF,
+/// worker death) the pending bytes are exactly the partial line to drop.
+class LineBuffer {
+ public:
+  /// Append `n` bytes; invoke fn(line) for each completed line (without
+  /// the trailing '\n').
+  template <typename Fn>
+  void feed(const char* data, std::size_t n, Fn&& fn) {
+    pending_.append(data, n);
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = pending_.find('\n', start);
+      if (nl == std::string::npos) break;
+      fn(pending_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    pending_.erase(0, start);
+  }
+  /// Bytes of an unterminated final line (dropped on worker death).
+  [[nodiscard]] const std::string& pending() const { return pending_; }
+
+ private:
+  std::string pending_;
+};
+
+/// The leading `"index":N` of a journal row line; nullopt when the line
+/// is not a result row.  Cheap positional check for the wire protocol.
+[[nodiscard]] std::optional<std::size_t> row_index(const std::string& line);
+
+}  // namespace dispatch_detail
+
+/// Parent side of `--workers N`.  Owned by StandardOptions; installed as
+/// RunControl::runner.  Workers are spawned lazily at the first batch and
+/// shut down (control-pipe EOF -> they exit 75) on destruction.
+class CampaignDispatcher final : public BatchRunner {
+ public:
+  struct Config {
+    std::size_t workers = 2;
+    /// Binary to exec for each worker (the bench re-execs itself).
+    std::string exe = "/proc/self/exe";
+    /// argv[1..] for workers: the parent's args minus output/control
+    /// flags; the dispatcher appends --worker-fd (and --max-seconds when
+    /// a budget is set) per spawn.
+    std::vector<std::string> worker_argv;
+    /// Whole-fleet wall-clock budget (0 = none): each spawn gets the
+    /// budget REMAINING at spawn time so respawned workers do not reset
+    /// the clock.
+    double max_seconds = 0.0;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    /// Worker deaths tolerated per run before the dispatcher gives up
+    /// (guards against a crash loop re-evaluating the same scenario).
+    std::size_t max_respawns = 8;
+  };
+
+  explicit CampaignDispatcher(Config cfg);
+  ~CampaignDispatcher() override;
+  CampaignDispatcher(const CampaignDispatcher&) = delete;
+  CampaignDispatcher& operator=(const CampaignDispatcher&) = delete;
+
+  std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                        const std::vector<Scenario>& batch,
+                        const std::vector<ResultSink*>& sinks,
+                        const Engine::StreamOptions& opts) override;
+  std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                        const std::vector<SimScenario>& batch,
+                        const std::vector<ResultSink*>& sinks,
+                        const Engine::StreamOptions& opts) override;
+
+  /// A worker exited 75: the fleet is budget-stopped and the parent run
+  /// should end on the delivered prefix (exit 75, resumable).
+  [[nodiscard]] bool fleet_stopped() const { return fleet_stopped_; }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int ctrl_fd = -1;  ///< parent -> worker: headers, slices, broadcasts
+    int out_fd = -1;   ///< worker -> parent: jsonl_row lines
+    dispatch_detail::LineBuffer buf;
+    std::size_t cursor = 0;  ///< next batch index this worker will report
+    std::size_t hi = 0;      ///< end of its slice
+    std::size_t rows_received = 0;  ///< lifetime rows (kill-test hook)
+    bool alive = false;
+    bool needs_respawn = false;  ///< died (not 75); slice must be reassigned
+  };
+  struct BatchRecord {  ///< completed batch, for catching up respawns
+    std::string meta_line;           // jsonl_meta(m), '\n'-terminated
+    std::vector<std::string> rows;   // n jsonl_row lines, unterminated
+  };
+
+  template <typename Scen, typename Parse>
+  std::size_t run_batch_impl(const BatchMeta& m,
+                             const std::vector<Scen>& batch,
+                             const std::vector<ResultSink*>& sinks,
+                             const Engine::StreamOptions& opts,
+                             Parse&& parse);
+  void spawn(Worker& w);
+  void revive(Worker& w);    ///< respawn-budget check + spawn
+  void catch_up(Worker& w);  ///< replay completed-batch history
+  void send(Worker& w, const std::string& bytes);
+  void reap(Worker& w);      ///< EOF seen: waitpid, classify 75 vs death
+  void shutdown();
+
+  Config cfg_;
+  std::vector<Worker> workers_;
+  std::vector<BatchRecord> history_;
+  std::size_t respawns_ = 0;
+  bool started_ = false;
+  bool fleet_stopped_ = false;
+  // Test hook: SFLY_DISPATCH_TEST_KILL="W:K" SIGKILLs worker W after the
+  // parent has received K of its rows — deterministic worker-death tests.
+  long kill_worker_ = -1;
+  std::size_t kill_after_rows_ = 0;
+  bool kill_fired_ = false;
+};
+
+/// Worker side of `--workers N` (the `--worker-fd IN,OUT` process).
+/// Reads batch headers / slice assignments / row broadcasts from IN,
+/// verifies each header byte-for-byte against the one this process's own
+/// declaration produces (decl fingerprint included — a stale binary is
+/// refused), evaluates its slice with the in-process engine, and streams
+/// the rows to OUT with a flush per line so a kill loses at most one
+/// partial line.  EOF on IN is the fleet-stop signal: the worker flushes
+/// and exits 75.
+class CampaignWorker final : public BatchRunner {
+ public:
+  CampaignWorker(int in_fd, int out_fd);
+  ~CampaignWorker() override;
+  CampaignWorker(const CampaignWorker&) = delete;
+  CampaignWorker& operator=(const CampaignWorker&) = delete;
+
+  std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                        const std::vector<Scenario>& batch,
+                        const std::vector<ResultSink*>& sinks,
+                        const Engine::StreamOptions& opts) override;
+  std::size_t run_batch(Engine& eng, const BatchMeta& m,
+                        const std::vector<SimScenario>& batch,
+                        const std::vector<ResultSink*>& sinks,
+                        const Engine::StreamOptions& opts) override;
+
+ private:
+  template <typename Scen, typename Parse, typename Run>
+  std::size_t run_batch_impl(const BatchMeta& m,
+                             const std::vector<Scen>& batch,
+                             const std::vector<ResultSink*>& sinks,
+                             const Engine::StreamOptions& opts,
+                             Parse&& parse, Run&& run);
+  [[nodiscard]] bool read_line(std::string& line);
+  [[noreturn]] void fleet_stop();
+
+  std::FILE* in_ = nullptr;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace sfly::engine

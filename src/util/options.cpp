@@ -1,11 +1,15 @@
 #include "util/options.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+
+#include "engine/dispatch.hpp"
+#include "util/parallel.hpp"
 
 namespace sfly::bench {
 
@@ -24,6 +28,13 @@ Flags::Flags(std::vector<std::string> args, std::vector<FlagSpec> known)
     const FlagSpec* sp = spec(args[i]);
     if (!sp) {
       error_ = "unknown flag '" + args[i] + "' (see --help)";
+      return;
+    }
+    // A strict surface has no silent precedence rule: "--threads 4
+    // --threads 8" once ran with 4 (first occurrence won), which reads
+    // like 8 won.  Repetition is a hard error instead.
+    if (has(args[i])) {
+      error_ = "flag '" + args[i] + "' given more than once";
       return;
     }
     present_.push_back(args[i]);
@@ -113,9 +124,18 @@ std::vector<FlagSpec> standard_flags() {
       {"--shard", true,
        "run only shard I of N (\"I/N\", 0-based); shard journals merge "
        "back to the unsharded stream with sfly_merge"},
+      {"--workers", true,
+       "farm every campaign batch to N worker processes (re-execs of "
+       "this bench); output stays byte-identical to a single-process "
+       "run, and a crashed worker's slice is reassigned automatically"},
+      {"--worker-fd", true,
+       "internal (passed by the --workers parent): run as a dispatch "
+       "worker, reading assignments from fd IN and streaming result "
+       "rows to fd OUT (\"IN,OUT\")"},
       {"--max-seconds", true,
        "graceful wall-clock budget: finish in-flight scenarios, flush "
-       "sinks, exit 75 (resumable) once B seconds have elapsed"},
+       "sinks, exit 75 (resumable) once B seconds have elapsed "
+       "(fractional allowed; 0 = no budget)"},
       {"--phase-json", true,
        "write a per-phase wall-clock record (the BENCH_full.json format) "
        "to PATH"},
@@ -141,7 +161,8 @@ std::vector<FlagSpec> merge_flags(std::vector<FlagSpec> extra) {
 }  // namespace
 
 StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
-    : flags_(argv_vec(argc, argv), merge_flags(std::move(spec.extra_flags))) {
+    : flags_(argv_vec(argc, argv), merge_flags(std::move(spec.extra_flags))),
+      args_(argv_vec(argc, argv)) {
   if (!flags_.error().empty()) {
     std::fprintf(stderr, "error: %s\n", flags_.error().c_str());
     std::exit(2);
@@ -180,6 +201,59 @@ StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
     }
     shard_index_ = static_cast<std::size_t>(*i);
     shard_count_ = static_cast<std::size_t>(*n);
+  }
+  if (flags_.has("--workers")) {
+    workers_ = static_cast<std::size_t>(flags_.get("--workers", 0));
+    if (workers_ == 0) {
+      std::fprintf(stderr, "error: --workers expects N >= 1\n");
+      std::exit(2);
+    }
+    // The dispatcher slices every batch itself and its merged output IS
+    // the unsharded stream — combining with --shard would shard twice,
+    // and --resume's replay cursor has no meaning across a fleet whose
+    // workers each re-evaluate from the declaration.
+    if (flags_.has("--shard")) {
+      std::fprintf(stderr,
+                   "error: --workers dispatches batch slices itself and "
+                   "cannot combine with --shard\n");
+      std::exit(2);
+    }
+    if (flags_.has("--resume")) {
+      std::fprintf(stderr,
+                   "error: --workers cannot resume a journal; finish it "
+                   "single-process with --resume, or start a fresh "
+                   "--workers run\n");
+      std::exit(2);
+    }
+    if (flags_.has("--worker-fd")) {
+      std::fprintf(stderr,
+                   "error: --workers and --worker-fd are mutually "
+                   "exclusive (a worker never dispatches)\n");
+      std::exit(2);
+    }
+  }
+  if (flags_.has("--worker-fd")) {
+    const std::string spec_str = flags_.get_str("--worker-fd");
+    const auto comma = spec_str.find(',');
+    std::optional<std::uint64_t> in, out;
+    if (comma != std::string::npos) {
+      in = parse_u64(spec_str.substr(0, comma));
+      out = parse_u64(spec_str.substr(comma + 1));
+    }
+    if (!in || !out) {
+      std::fprintf(stderr,
+                   "error: --worker-fd expects \"IN,OUT\" file descriptors "
+                   "(this flag is passed by the --workers parent)\n");
+      std::exit(2);
+    }
+    if (flags_.has("--shard") || flags_.has("--resume")) {
+      std::fprintf(stderr,
+                   "error: --worker-fd cannot combine with --shard or "
+                   "--resume\n");
+      std::exit(2);
+    }
+    worker_in_ = static_cast<int>(*in);
+    worker_out_ = static_cast<int>(*out);
   }
 }
 
@@ -278,10 +352,81 @@ engine::RunControl& StandardOptions::run_control() {
     control_->journal = journal_ && !journal_->empty() ? journal_.get() : nullptr;
     control_->shard_index = shard_index_;
     control_->shard_count = shard_count_;
-    control_->max_seconds =
-        static_cast<double>(flags_.get("--max-seconds", 0));
+    // Strict double parse: the budget is documented as seconds, so
+    // "--max-seconds 1.5" must work; get_f64 already rejects NaN/inf and
+    // garbage, and negatives are refused here (0 disables the budget).
+    const double budget = flags_.get_f64("--max-seconds", 0.0);
+    if (budget < 0.0) {
+      std::fprintf(stderr,
+                   "error: --max-seconds expects a non-negative seconds "
+                   "budget (0 = no budget), got %g\n",
+                   budget);
+      std::exit(2);
+    }
+    control_->max_seconds = budget;
+    if (workers_ > 0) {
+      engine::CampaignDispatcher::Config dc;
+      dc.workers = workers_;
+      dc.worker_argv = worker_args();
+      dc.max_seconds = budget;
+      dc.start = control_->start;
+      auto d = std::make_unique<engine::CampaignDispatcher>(std::move(dc));
+      control_->runner = d.get();
+      runner_ = std::move(d);
+    } else if (worker_in_ >= 0) {
+      auto w = std::make_unique<engine::CampaignWorker>(worker_in_,
+                                                        worker_out_);
+      control_->runner = w.get();
+      control_->quiet = true;  // the parent reports once for the fleet
+      runner_ = std::move(w);
+    }
   }
   return *control_;
+}
+
+// argv for a dispatch worker: the declaration and scale knobs pass
+// through untouched (the worker must expand the identical campaign), the
+// parent-side output/control flags are stripped, the engine threads are
+// split across the fleet, and the dispatcher appends --worker-fd (and the
+// remaining --max-seconds) per spawn.
+std::vector<std::string> StandardOptions::worker_args() const {
+  static const char* kParentOnly[] = {"--workers",     "--json",
+                                      "--csv",         "--phase-json",
+                                      "--progress",    "--profile",
+                                      "--threads",     "--max-seconds",
+                                      "--dry-run",     "--bench-json"};
+  auto parent_only = [](const std::string& f) {
+    for (const char* p : kParentOnly)
+      if (f == p) return true;
+    return false;
+  };
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    const FlagSpec* sp = nullptr;
+    for (const auto& k : flags_.known())
+      if (k.name == args_[i]) sp = &k;
+    // Mirror the parser's value-consumption rule so dropped flags drop
+    // their values too.
+    bool consumed_value = false;
+    if (sp && sp->takes_value) {
+      const bool next_is_flag =
+          i + 1 < args_.size() && args_[i + 1].rfind("--", 0) == 0;
+      consumed_value = i + 1 < args_.size() &&
+                       !(sp->value_optional && next_is_flag);
+    }
+    if (sp && parent_only(sp->name)) {
+      if (consumed_value) ++i;
+      continue;
+    }
+    out.push_back(args_[i]);
+    if (consumed_value) out.push_back(args_[++i]);
+  }
+  const unsigned t =
+      threads() ? threads() : static_cast<unsigned>(hardware_threads());
+  out.push_back("--threads");
+  out.push_back(std::to_string(
+      std::max<std::size_t>(1, t / std::max<std::size_t>(1, workers_))));
+  return out;
 }
 
 }  // namespace sfly::bench

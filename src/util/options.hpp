@@ -4,14 +4,14 @@
 /// docs/CAMPAIGNS.md).
 ///
 /// Flags is a strict CLI parser: every flag a bench accepts is declared up
-/// front, unknown flags and malformed values are errors (exit 2), and
-/// numeric values must parse exactly — "12x" is rejected, not truncated
-/// to 12.  StandardOptions layers the flag set shared by all benches
-/// (--threads/--full/--seed/--csv/--json/--resume/--shard/--max-seconds/
-/// --phase-json/--profile/--progress/--dry-run/--help) on top, owns the
-/// file-backed streaming sinks and the campaign RunControl those flags
-/// select, and prints the bench banner exactly as the harnesses always
-/// have.
+/// front, unknown flags, repeated flags, and malformed values are errors
+/// (exit 2), and numeric values must parse exactly — "12x" is rejected,
+/// not truncated to 12.  StandardOptions layers the flag set shared by
+/// all benches (--threads/--full/--seed/--csv/--json/--resume/--shard/
+/// --workers/--max-seconds/--phase-json/--profile/--progress/--dry-run/
+/// --help) on top, owns the file-backed streaming sinks and the campaign
+/// RunControl those flags select, and prints the bench banner exactly as
+/// the harnesses always have.
 
 #include <cstdint>
 #include <cstdio>
@@ -64,8 +64,9 @@ class Flags {
  private:
   [[nodiscard]] const FlagSpec* spec(const std::string& name) const;
   std::vector<FlagSpec> known_;
-  std::vector<std::string> present_;               // flag names seen
-  std::vector<std::pair<std::string, std::string>> values_;  // first wins
+  std::vector<std::string> present_;  // flag names seen (each at most once:
+                                      // a repeated flag is a parse error)
+  std::vector<std::pair<std::string, std::string>> values_;
   std::string error_;
 };
 
@@ -121,17 +122,30 @@ class StandardOptions {
   }
   [[nodiscard]] bool resuming() const { return flags_.has("--resume"); }
 
+  /// `--workers N`: farm every campaign batch to N worker processes
+  /// (0 = single-process).  run_control() installs the dispatcher as the
+  /// control's BatchRunner.
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+  /// `--worker-fd IN,OUT`: this process IS a dispatch worker (spawned by
+  /// a --workers parent; quiet, slice-fed over the pipe pair).
+  [[nodiscard]] bool worker_mode() const { return worker_in_ >= 0; }
+
  private:
   void prepare_resume();
+  [[nodiscard]] std::vector<std::string> worker_args() const;
 
   Flags flags_;
+  std::vector<std::string> args_;  // raw argv[1..], for worker re-exec
   std::vector<engine::ResultSink*> sinks_;
   std::vector<std::unique_ptr<engine::ResultSink>> owned_;
   std::vector<std::FILE*> files_;
   bool sinks_built_ = false;
   std::size_t shard_index_ = 0, shard_count_ = 1;
+  std::size_t workers_ = 0;
+  int worker_in_ = -1, worker_out_ = -1;
   std::unique_ptr<engine::CampaignJournal> journal_;
   std::unique_ptr<engine::RunControl> control_;
+  std::unique_ptr<engine::BatchRunner> runner_;
   bool resume_prepared_ = false;
 };
 

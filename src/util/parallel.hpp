@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -32,9 +33,12 @@ inline int hardware_threads() {
 }
 
 /// Fixed-width FIFO task pool.  Tasks must be independent; submission order
-/// is preserved in the queue but completion order is unspecified.  The
-/// first exception thrown by any task is captured and rethrown from
-/// wait() (or the destructor's implicit wait discards it).
+/// is preserved in the queue but completion order is unspecified.  In
+/// inline mode (width <= 1) submit() behaves like a plain function call: a
+/// throwing task propagates at the submit site.  With workers, the first
+/// task exception is captured and rethrown from wait(); destroying a pool
+/// without calling wait() discards a pending exception (debug builds print
+/// a diagnostic so the discard is never silent during development).
 class TaskPool {
  public:
   /// width 0 selects hardware_threads(); width <= 1 runs tasks inline.
@@ -56,6 +60,12 @@ class TaskPool {
     }
     cv_.notify_all();
     for (auto& w : workers_) w.join();
+#ifndef NDEBUG
+    if (error_)
+      std::fprintf(stderr,
+                   "TaskPool: destroyed with an unreported task exception "
+                   "(wait() was never called)\n");
+#endif
   }
 
   [[nodiscard]] unsigned width() const {
@@ -64,7 +74,10 @@ class TaskPool {
 
   void submit(std::function<void()> task) {
     if (workers_.empty()) {
-      run_one(task);
+      // Inline mode is the "serial behaves like plain function calls"
+      // mode: no deferral, so no capture — the exception surfaces here,
+      // at the call site, exactly as if the caller had invoked task().
+      task();
       return;
     }
     {

@@ -495,6 +495,44 @@ TEST(Flags, UnknownFlagsAreErrorsNotIgnored) {
   EXPECT_NE(missing.error().find("expects a value"), std::string::npos);
 }
 
+TEST(Flags, RepeatedFlagsAreHardErrors) {
+  // Repetition used to silently take the first occurrence, so
+  // `--ranks 64 --ranks 8192` ran a 64-rank campaign while the operator
+  // believed the second value won.  Now it is a parse error, for value
+  // and boolean flags alike.
+  std::vector<bench::FlagSpec> known = {{"--ranks", true, ""},
+                                        {"--full", false, ""}};
+  bench::Flags rep({"--ranks", "64", "--ranks", "8192"}, known);
+  EXPECT_NE(rep.error().find("more than once"), std::string::npos)
+      << rep.error();
+  EXPECT_NE(rep.error().find("--ranks"), std::string::npos);
+  bench::Flags repeated_bool({"--full", "--full"}, known);
+  EXPECT_NE(repeated_bool.error().find("more than once"), std::string::npos);
+  // Same value twice is still an error: the point is that argv is
+  // unambiguous, not that the values happened to agree.
+  bench::Flags same({"--ranks", "64", "--ranks", "64"}, known);
+  EXPECT_FALSE(same.error().empty());
+}
+
+TEST(Flags, GetF64AcceptsFractionsRejectsGarbage) {
+  // --max-seconds goes through get_f64: fractional budgets are legal;
+  // NaN/inf/trailing garbage exit with a usage error (death test).
+  std::vector<bench::FlagSpec> known = {{"--max-seconds", true, ""}};
+  bench::Flags frac({"--max-seconds", "1.5"}, known);
+  EXPECT_TRUE(frac.error().empty()) << frac.error();
+  EXPECT_EQ(frac.get_f64("--max-seconds", 0.0), 1.5);
+  bench::Flags zero({"--max-seconds", "0"}, known);
+  EXPECT_EQ(zero.get_f64("--max-seconds", 7.0), 0.0);  // 0 = disabled
+  bench::Flags dflt({}, known);
+  EXPECT_EQ(dflt.get_f64("--max-seconds", 3.25), 3.25);
+  bench::Flags nan_flags({"--max-seconds", "nan"}, known);
+  EXPECT_EXIT((void)nan_flags.get_f64("--max-seconds", 0.0),
+              ::testing::ExitedWithCode(2), "finite");
+  bench::Flags junk({"--max-seconds", "1.5x"}, known);
+  EXPECT_EXIT((void)junk.get_f64("--max-seconds", 0.0),
+              ::testing::ExitedWithCode(2), "finite");
+}
+
 TEST(Flags, OptionalValueFlagsDefaultToStdout) {
   std::vector<bench::FlagSpec> known = {
       {"--csv", true, "", /*value_optional=*/true},

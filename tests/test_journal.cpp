@@ -297,7 +297,12 @@ void run_two_phase(unsigned threads, const std::vector<ResultSink*>& sinks,
 }
 
 std::string journal_of_uninterrupted(unsigned threads) {
-  const auto path = tmp_path("uninterrupted");
+  // Unique per calling test: under `ctest -j`, the CampaignResume tests
+  // run as concurrent processes and must not race on a shared path.
+  const std::string path =
+      std::string(::testing::TempDir()) + "journal_uninterrupted_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".jsonl";
   std::FILE* f = std::fopen(path.c_str(), "w");
   JsonlSink sink(f);
   RunControl ctl;

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "engine/journal.hpp"
@@ -51,6 +53,23 @@ int main(int argc, char** argv) {
   }
   std::FILE* out = stdout;
   if (!out_path.empty() && out_path != "-") {
+    // -o truncates OUT before the shards are read; if OUT names an input
+    // (same path or the same file via a link), opening it would zero a
+    // shard journal before merge ever sees it.  Refuse up front.
+    for (const auto& in : inputs) {
+      std::error_code ec;
+      if (in == out_path ||
+          (std::filesystem::exists(in, ec) &&
+           std::filesystem::exists(out_path, ec) &&
+           std::filesystem::equivalent(in, out_path, ec))) {
+        std::fprintf(stderr,
+                     "error: -o %s names input shard %s — writing would "
+                     "truncate the shard before it is read; pick a "
+                     "different output path\n",
+                     out_path.c_str(), in.c_str());
+        return 2;
+      }
+    }
     out = std::fopen(out_path.c_str(), "w");
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
