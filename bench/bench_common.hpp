@@ -12,10 +12,13 @@
 // configuration.
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -171,8 +174,12 @@ inline void write_phase_record(const std::string& path,
                     "\"eval_s\": %.3f}",
                  i ? "," : "", phases[i].name.c_str(), phases[i].scenarios,
                  phases[i].eval_s);
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  if (std::fprintf(f, "\n  ]\n}\n") < 0) {
+    std::fprintf(stderr, "error: writing %s failed: %s\n", path.c_str(),
+                 std::strerror(errno));
+    std::exit(engine::kExitIoError);
+  }
+  engine::checked_close(f, "--phase-json record");
 }
 
 /// The shared post-run epilogue for Campaign and AdaptiveSweep paths:
@@ -190,9 +197,16 @@ inline RunStatus finish_run(const engine::RunControl& ctl, bool final_run,
                          "evaluated %zu\n",
                  ctl.replayed - replayed_before, ctl.evaluated);
   if (ctl.stopped) {
-    if (!ctl.quiet)
-      std::fprintf(stderr, "# --max-seconds budget reached: journal is "
-                           "resumable with --resume (exit 75)\n");
+    if (!ctl.quiet) {
+      if (const int sig = engine::stop_signal_seen(); sig != 0)
+        std::fprintf(stderr, "# stopping on %s: sinks flushed at a row "
+                             "boundary; journal is resumable with --resume "
+                             "(exit 75)\n",
+                     sig == SIGINT ? "SIGINT" : "SIGTERM");
+      else
+        std::fprintf(stderr, "# --max-seconds budget reached: journal is "
+                             "resumable with --resume (exit 75)\n");
+    }
     return RunStatus::kStopped;
   }
   if (final_run && ctl.unconsumed_segments() > 0) {

@@ -1,8 +1,11 @@
 #include "engine/campaign.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -14,6 +17,31 @@
 #include "util/table.hpp"
 
 namespace sfly::engine {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void stop_signal_handler(int sig) {
+  if (g_stop_signal != 0) ::_exit(128 + sig);  // second signal: force out
+  g_stop_signal = sig;
+}
+
+}  // namespace
+
+void install_stop_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = stop_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: interrupted stdio/socket calls resume, so the stop is
+  // observed only at the over_budget() row boundaries — never as a
+  // short write that would tear a journal line.
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+int stop_signal_seen() { return static_cast<int>(g_stop_signal); }
 
 namespace {
 
@@ -490,8 +518,7 @@ void Campaign::print_plan(std::FILE* out) const {
   }
   std::fprintf(out, "== campaign plan: %s (dry run, nothing evaluated) ==\n",
                name_.c_str());
-  auto text = t.str();
-  std::fwrite(text.data(), 1, text.size(), out);
+  checked_write(out, "campaign plan", t.str());
   std::fprintf(out,
                "total: %zu scenario(s), %zu topology artifact build(s)\n",
                total, total_builds);

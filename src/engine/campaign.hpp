@@ -39,6 +39,18 @@ namespace sfly::engine {
 class CampaignJournal;
 class BatchRunner;
 
+/// Install SIGTERM/SIGINT handlers that request a graceful campaign
+/// stop: the run finishes at the next row boundary, sinks flush, the
+/// journal stays resumable, and the bench exits 75 — exactly the
+/// --max-seconds path, but operator-initiated.  A second signal while
+/// the first is still draining force-exits 128+sig (the escape hatch
+/// when a scenario evaluation is stuck).  Idempotent.
+void install_stop_signal_handlers();
+/// The signal requesting a graceful stop (0 = none yet).  Folded into
+/// RunControl::over_budget(), so every budget-stop code path — engine
+/// submission windows, dispatcher fleets, worker slices — honors it.
+[[nodiscard]] int stop_signal_seen();
+
 /// Execution controls + outcome for Campaign::run / AdaptiveSweep::run —
 /// the checkpoint/restart surface behind `--resume`, `--shard` and
 /// `--max-seconds` (see docs/CAMPAIGNS.md §Resume).  One RunControl can
@@ -84,6 +96,7 @@ struct RunControl {
   std::size_t journal_cursor = 0;  ///< segments consumed (internal state)
 
   [[nodiscard]] bool over_budget() const {
+    if (stop_signal_seen() != 0) return true;
     return max_seconds > 0.0 &&
            std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)

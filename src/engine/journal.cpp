@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 namespace sfly::engine {
 
@@ -376,7 +377,10 @@ void CampaignJournal::merge(const std::vector<std::string>& inputs,
         m.shard_count = 1;
         m.rows = m.scenarios;
         const std::string header = jsonl_meta(m);
-        std::fwrite(header.data(), 1, header.size(), out);
+        if (std::fwrite(header.data(), 1, header.size(), out) !=
+            header.size())
+          throw std::system_error(errno, std::generic_category(),
+                                  "writing merged journal");
       }
       for (const auto& row : sseg.rows) {
         const std::size_t idx =
@@ -386,12 +390,17 @@ void CampaignJournal::merge(const std::vector<std::string>& inputs,
                                    "' rows are not a contiguous 0..N-1 "
                                    "sequence across shards");
         ++next_index;
-        std::fwrite(row.raw.data(), 1, row.raw.size(), out);
-        std::fputc('\n', out);
+        if (std::fwrite(row.raw.data(), 1, row.raw.size(), out) !=
+                row.raw.size() ||
+            std::fputc('\n', out) == EOF)
+          throw std::system_error(errno, std::generic_category(),
+                                  "writing merged journal");
       }
     }
   }
-  std::fflush(out);
+  if (std::fflush(out) != 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "flushing merged journal");
 }
 
 }  // namespace sfly::engine

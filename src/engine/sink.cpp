@@ -1,6 +1,9 @@
 #include "engine/sink.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "engine/engine.hpp"
@@ -58,7 +61,31 @@ std::string json_str(const std::string& s) {
   return out;
 }
 
+[[noreturn]] void io_die(const char* what) {
+  std::fprintf(stderr,
+               "error: writing %s failed: %s\n"
+               "the file is intact up to its last complete line; a campaign "
+               "journal in that state resumes with --resume once the "
+               "underlying problem (disk full, closed pipe, quota) is "
+               "fixed\n",
+               what, std::strerror(errno));
+  std::exit(kExitIoError);
+}
+
 }  // namespace
+
+void checked_write(std::FILE* f, const char* what, const std::string& bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+    io_die(what);
+}
+
+void checked_flush(std::FILE* f, const char* what) {
+  if (std::fflush(f) != 0) io_die(what);
+}
+
+void checked_close(std::FILE* f, const char* what) {
+  if (std::fclose(f) != 0) io_die(what);
+}
 
 const char* csv_header(bool sim) {
   return sim
@@ -188,34 +215,31 @@ void CollectSink::consume(const SimResult& r) {
 void CsvSink::write_row(bool sim, const std::string& row) {
   const int want = sim ? 2 : 1;
   if (header_state_ != want) {
-    std::fputs(csv_header(sim), out_);
+    checked_write(out_, "CSV output", csv_header(sim));
     header_state_ = want;
   }
-  std::fwrite(row.data(), 1, row.size(), out_);
+  checked_write(out_, "CSV output", row);
 }
 
 void CsvSink::consume(const Result& r) { write_row(false, csv_row(r)); }
 void CsvSink::consume(const SimResult& r) { write_row(true, csv_row(r)); }
-void CsvSink::end() { std::fflush(out_); }
+void CsvSink::end() { checked_flush(out_, "CSV output"); }
 
 // --- JsonlSink -------------------------------------------------------------
 
 void JsonlSink::meta(const BatchMeta& m) {
-  auto row = jsonl_meta(m);
-  std::fwrite(row.data(), 1, row.size(), out_);
+  checked_write(out_, "--json journal", jsonl_meta(m));
 }
 
 void JsonlSink::consume(const Result& r) {
-  auto row = jsonl_row(r);
-  std::fwrite(row.data(), 1, row.size(), out_);
+  checked_write(out_, "--json journal", jsonl_row(r));
 }
 
 void JsonlSink::consume(const SimResult& r) {
-  auto row = jsonl_row(r);
-  std::fwrite(row.data(), 1, row.size(), out_);
+  checked_write(out_, "--json journal", jsonl_row(r));
 }
 
-void JsonlSink::end() { std::fflush(out_); }
+void JsonlSink::end() { checked_flush(out_, "--json journal"); }
 
 // --- ProgressSink ----------------------------------------------------------
 
@@ -254,16 +278,14 @@ void TableSink::consume(const SimResult& r) { sim_rows_.push_back(r); }
 
 void TableSink::end() {
   if (!rows_.empty()) {
-    auto text = Engine::to_table(rows_).str();
-    std::fwrite(text.data(), 1, text.size(), out_);
+    checked_write(out_, "table output", Engine::to_table(rows_).str());
     rows_.clear();
   }
   if (!sim_rows_.empty()) {
-    auto text = Engine::to_table(sim_rows_).str();
-    std::fwrite(text.data(), 1, text.size(), out_);
+    checked_write(out_, "table output", Engine::to_table(sim_rows_).str());
     sim_rows_.clear();
   }
-  std::fflush(out_);
+  checked_flush(out_, "table output");
 }
 
 // --- PerfRecordSink --------------------------------------------------------
@@ -292,7 +314,7 @@ void PerfRecordSink::write(const std::string& path, const std::string& campaign,
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f,
+  const int n = std::fprintf(f,
                "{\n"
                "  \"campaign\": \"%s\",\n"
                "  \"threads\": %u,\n"
@@ -311,7 +333,8 @@ void PerfRecordSink::write(const std::string& path, const std::string& campaign,
                static_cast<unsigned long long>(events_),
                static_cast<unsigned long long>(packets_),
                static_cast<unsigned long long>(messages_), eps);
-  std::fclose(f);
+  if (n < 0) io_die("--phase-json record");
+  checked_close(f, "--phase-json record");
 }
 
 }  // namespace sfly::engine

@@ -65,6 +65,25 @@ class ResultSink {
 };
 
 // ---------------------------------------------------------------------------
+// Checked stdio.  A result stream (journal, CSV, phase record) that
+// silently loses rows to a full disk or a closed pipe poisons every
+// later --resume and every archived artifact, so stdio failures on
+// these streams are fatal: print what failed and exit 74 (EX_IOERR).
+// The file written so far is intact up to its last complete line — the
+// campaign journal rules make exactly that prefix resumable.
+
+inline constexpr int kExitIoError = 74;  // BSD sysexits EX_IOERR
+
+/// fwrite `bytes` to `f` or die with exit 74; `what` names the stream
+/// in the error message ("--json journal", "CSV output", ...).
+void checked_write(std::FILE* f, const char* what, const std::string& bytes);
+/// fflush `f` or die with exit 74.
+void checked_flush(std::FILE* f, const char* what);
+/// fclose `f` or die with exit 74 (a failed close can drop the final
+/// buffered rows even after every write "succeeded").
+void checked_close(std::FILE* f, const char* what);
+
+// ---------------------------------------------------------------------------
 // Row formatting shared by the sinks and the legacy Engine::csv strings.
 
 [[nodiscard]] const char* csv_header(bool sim);

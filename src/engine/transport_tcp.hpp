@@ -1,0 +1,164 @@
+#pragma once
+/// \file transport_tcp.hpp
+/// The cross-machine transport behind `--listen PORT --workers N` /
+/// `--connect HOST:PORT` (docs/CAMPAIGNS.md §Cross-machine runs).
+///
+/// TcpTransport is the parent side: it accepts framed TCP connections
+/// (util/net.hpp) from `sfly_worker` / `--connect` joiners, binds each
+/// to a worker slot under a monotonically increasing **epoch**, and
+/// holds every slice under a **lease**: both sides heartbeat every
+/// lease/3, and a slot silent for a full lease is reported through
+/// idle_seconds() so the dispatcher can fence it.  Fencing marks the
+/// connection's epoch superseded — anything it sends afterwards is
+/// routed to on_zombie_line (counted and discarded, never delivered) —
+/// and frees the slot for the next join, which replays history and
+/// takes over the slice at the cursor.  A probe connection (HELLO role
+/// "probe") is answered with the bench binary + argv a joining machine
+/// should exec, then closed: that is how `sfly_worker` learns what to
+/// run without shipping binaries.
+///
+/// SocketChannel is the worker side of the same wire: it dials with
+/// exponential backoff + jitter, handshakes (HELLO/WELCOME carries the
+/// protocol version, lease parameters, and the fleet's remaining
+/// --max-seconds budget), heartbeats from a background thread so leases
+/// survive long scenario evaluations, and classifies stream end: EOF
+/// after a BYE frame is a graceful fleet stop (exit 75), anything else
+/// is a lost link (exit 76, reconnect via sfly_worker).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/dispatch.hpp"
+#include "util/net.hpp"
+
+namespace sfly::engine {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Config {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (printed, and written to
+                             ///< $SFLY_LISTEN_PORT_FILE for scripting)
+    std::size_t workers = 2;
+    int lease_ms = 10000;  ///< slice lease; heartbeats every lease/3
+    std::string exe;       ///< bench binary basename, for probe replies
+    std::vector<std::string> worker_argv;  ///< argv for probe replies
+    double max_seconds = 0.0;  ///< fleet budget (0 = none); joiners get
+                               ///< the REMAINING budget at join time
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+  };
+
+  explicit TcpTransport(Config cfg);
+  ~TcpTransport() override;
+
+  [[nodiscard]] std::size_t width() const override { return cfg_.workers; }
+  [[nodiscard]] const char* tag() const override { return "--listen"; }
+  void start(const Hooks& hooks) override;
+  [[nodiscard]] bool up(std::size_t slot) const override;
+  void send(std::size_t slot, const std::string& bytes) override;
+  void pump(int timeout_ms, const Hooks& hooks) override;
+  void replace(std::size_t slot, const Hooks& hooks) override;
+  [[nodiscard]] double idle_seconds(std::size_t slot) const override;
+  [[nodiscard]] double lease_seconds() const override {
+    return cfg_.lease_ms / 1000.0;
+  }
+  [[nodiscard]] bool waits_for_joins() const override { return true; }
+  void note_row(std::size_t slot) override;
+  void shutdown() override;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    net::FrameReader frames;
+    dispatch_detail::LineBuffer lines;
+    std::string outbox;
+    std::uint64_t epoch = 0;
+    long slot = -1;  ///< bound worker slot; -1 = pending hello / probe
+    bool zombie = false;      ///< fenced: lines go to on_zombie_line
+    bool said_stop = false;   ///< STOP frame seen: EOF will be graceful
+    bool close_when_flushed = false;  ///< probes / busy rejections
+    bool dead = false;        ///< write failed; reap on next pump
+    std::uint32_t last_seq_in = 0;
+    std::uint32_t next_seq_out = 1;
+    std::chrono::steady_clock::time_point last_heard;
+    std::chrono::steady_clock::time_point last_hb_sent;
+  };
+
+  void accept_new();
+  void read_conn(Conn& c, const Hooks& hooks);
+  void handle_frame(Conn& c, const net::Frame& f, const Hooks& hooks);
+  void bind_worker(Conn& c, const Hooks& hooks);
+  void queue_frame(Conn& c, net::FrameType type, const std::string& payload);
+  void try_flush(Conn& c);
+  void fence(std::size_t slot);
+  void sweep(const Hooks& hooks);  ///< reap dead/EOF conns, fire on_down
+
+  Config cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int heartbeat_ms_ = 0;
+  std::list<Conn> conns_;
+  std::vector<Conn*> slot_;  ///< current conn per slot (null = down)
+  std::uint64_t epoch_counter_ = 0;
+  std::size_t dup_frames_ = 0;  ///< duplicate DATA frames dropped by seq
+  // Test hook: SFLY_TCP_TEST_FENCE="S:K" fences slot S after K accepted
+  // rows — deterministic lease-expiry/zombie tests without real stalls.
+  long fence_slot_ = -1;
+  std::size_t fence_after_rows_ = 0;
+  bool fence_fired_ = false;
+  std::vector<std::size_t> slot_rows_;
+};
+
+/// Worker end of the TCP wire (the `--connect HOST:PORT` process).
+class SocketChannel final : public WorkerChannel {
+ public:
+  struct Config {
+    std::string host;
+    std::uint16_t port = 0;
+    std::size_t attempts = 40;      ///< dial attempts before giving up
+    std::uint64_t backoff_base_ms = 200;
+    std::uint64_t backoff_max_ms = 5000;
+  };
+
+  /// Dials, handshakes, and starts the heartbeat thread; throws when the
+  /// parent stays unreachable (or full) past the attempt budget.
+  explicit SocketChannel(const Config& cfg);
+  ~SocketChannel() override;
+
+  [[nodiscard]] bool read_line(std::string& line) override;
+  [[nodiscard]] bool graceful_end() const override { return bye_; }
+  void write_line(const std::string& bytes) override;
+  void announce_stop() override;
+  [[nodiscard]] double budget_seconds() const override { return budget_s_; }
+
+ private:
+  void process_frame(const net::Frame& f);
+
+  int fd_ = -1;
+  net::FrameReader frames_;
+  dispatch_detail::LineBuffer lines_;
+  std::deque<std::string> ready_;
+  bool bye_ = false;    ///< parent said BYE: stream end is graceful
+  bool ended_ = false;  ///< EOF seen
+  std::atomic<bool> lost_{false};  ///< link died / deadline blown
+  int lease_ms_ = 10000;
+  int heartbeat_ms_ = 3333;
+  double budget_s_ = 0.0;
+  std::uint32_t next_seq_out_ = 1;
+  std::uint32_t last_seq_in_ = 0;
+  std::chrono::steady_clock::time_point last_parent_;
+  std::mutex write_mu_;
+  std::thread hb_thread_;
+  std::atomic<bool> stop_hb_{false};
+};
+
+}  // namespace sfly::engine

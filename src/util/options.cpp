@@ -9,6 +9,8 @@
 #include <memory>
 
 #include "engine/dispatch.hpp"
+#include "engine/transport_tcp.hpp"
+#include "util/net.hpp"
 #include "util/parallel.hpp"
 
 namespace sfly::bench {
@@ -132,6 +134,19 @@ std::vector<FlagSpec> standard_flags() {
        "internal (passed by the --workers parent): run as a dispatch "
        "worker, reading assignments from fd IN and streaming result "
        "rows to fd OUT (\"IN,OUT\")"},
+      {"--listen", true,
+       "with --workers N: accept the N workers as sfly_worker/--connect "
+       "TCP joins on PORT (0 = ephemeral, printed on stderr) instead of "
+       "forking them locally; slices are held under heartbeat leases and "
+       "reassigned when a worker dies, stalls, or partitions"},
+      {"--connect", true,
+       "join a --listen parent at HOST:PORT as a TCP dispatch worker "
+       "(usually via the sfly_worker supervisor, which reconnects with "
+       "backoff)"},
+      {"--lease-ms", true,
+       "with --listen: slice lease in milliseconds (default 10000); both "
+       "sides heartbeat every third of it, and a slot silent for a full "
+       "lease is fenced and its remaining rows reassigned"},
       {"--max-seconds", true,
        "graceful wall-clock budget: finish in-flight scenarios, flush "
        "sinks, exit 75 (resumable) once B seconds have elapsed "
@@ -178,6 +193,11 @@ StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
   // line, then the bench's verbatim extra lines.
   std::printf("# %s\n#   --full   run the exact paper-scale configuration\n%s\n",
               spec.banner, spec.extra_usage);
+
+  // From here on a SIGTERM/SIGINT is a graceful stop request: finish at
+  // the next row boundary, flush sinks, exit 75 with the journal
+  // resumable — the operator-initiated twin of --max-seconds.
+  engine::install_stop_signal_handlers();
 
   if (flags_.has("--resume") && flags_.has("--json")) {
     std::fprintf(stderr,
@@ -232,6 +252,59 @@ StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
       std::exit(2);
     }
   }
+  if (flags_.has("--listen")) {
+    if (!flags_.has("--workers")) {
+      std::fprintf(stderr,
+                   "error: --listen needs --workers N (how many TCP "
+                   "joins make a full fleet)\n");
+      std::exit(2);
+    }
+    const std::uint64_t p = flags_.get("--listen", 0);
+    if (p > 65535) {
+      std::fprintf(stderr, "error: --listen expects a port (0..65535)\n");
+      std::exit(2);
+    }
+    listen_port_ = static_cast<int>(p);
+  }
+  if (flags_.has("--lease-ms")) {
+    if (!flags_.has("--listen")) {
+      std::fprintf(stderr,
+                   "error: --lease-ms only applies to a --listen parent\n");
+      std::exit(2);
+    }
+    const std::uint64_t ms = flags_.get("--lease-ms", 10000);
+    if (ms < 100) {
+      std::fprintf(stderr,
+                   "error: --lease-ms expects >= 100 (the fleet "
+                   "heartbeats at a third of it)\n");
+      std::exit(2);
+    }
+    lease_ms_ = static_cast<int>(ms);
+  }
+  if (flags_.has("--connect")) {
+    connect_spec_ = flags_.get_str("--connect");
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::parse_hostport(connect_spec_, host, port)) {
+      std::fprintf(stderr,
+                   "error: --connect expects HOST:PORT, got '%s'\n",
+                   connect_spec_.c_str());
+      std::exit(2);
+    }
+    if (flags_.has("--workers") || flags_.has("--worker-fd") ||
+        flags_.has("--listen")) {
+      std::fprintf(stderr,
+                   "error: --connect is the worker side of dispatch and "
+                   "cannot combine with --workers/--worker-fd/--listen\n");
+      std::exit(2);
+    }
+    if (flags_.has("--shard") || flags_.has("--resume")) {
+      std::fprintf(stderr,
+                   "error: --connect cannot combine with --shard or "
+                   "--resume (the parent assigns the slices)\n");
+      std::exit(2);
+    }
+  }
   if (flags_.has("--worker-fd")) {
     const std::string spec_str = flags_.get_str("--worker-fd");
     const auto comma = spec_str.find(',');
@@ -258,8 +331,11 @@ StandardOptions::StandardOptions(int argc, char** argv, Spec spec)
 }
 
 StandardOptions::~StandardOptions() {
+  // These are the --csv/--json result files; a failed close here can
+  // drop their final buffered lines, so it is as fatal as a failed
+  // write (exit 74, the file keeps its resumable complete-line prefix).
   for (std::FILE* f : files_)
-    if (f && f != stdout) std::fclose(f);
+    if (f && f != stdout) engine::checked_close(f, "result file");
 }
 
 engine::EngineConfig StandardOptions::engine_config() const {
@@ -367,12 +443,50 @@ engine::RunControl& StandardOptions::run_control() {
     if (workers_ > 0) {
       engine::CampaignDispatcher::Config dc;
       dc.workers = workers_;
-      dc.worker_argv = worker_args();
       dc.max_seconds = budget;
       dc.start = control_->start;
+      if (listen_port_ >= 0) {
+        // Cross-machine fleet: accept framed-TCP joins instead of
+        // forking.  Probes are answered with this binary's basename and
+        // the stripped argv, so sfly_worker on another machine execs the
+        // identical campaign declaration (each machine defaults to its
+        // own hardware threads — no fleet split).
+        engine::TcpTransport::Config tc;
+        tc.port = static_cast<std::uint16_t>(listen_port_);
+        tc.workers = workers_;
+        tc.lease_ms = lease_ms_;
+        tc.worker_argv = worker_args(/*split_threads=*/false);
+        tc.max_seconds = budget;
+        tc.start = control_->start;
+        std::error_code ec;
+        const auto self =
+            std::filesystem::read_symlink("/proc/self/exe", ec);
+        if (!ec) tc.exe = self.filename().string();
+        dc.transport = std::make_unique<engine::TcpTransport>(std::move(tc));
+      } else {
+        dc.worker_argv = worker_args(/*split_threads=*/true);
+      }
       auto d = std::make_unique<engine::CampaignDispatcher>(std::move(dc));
       control_->runner = d.get();
       runner_ = std::move(d);
+    } else if (!connect_spec_.empty()) {
+      engine::SocketChannel::Config sc;
+      if (!net::parse_hostport(connect_spec_, sc.host, sc.port)) {
+        std::fprintf(stderr, "error: --connect expects HOST:PORT\n");
+        std::exit(2);
+      }
+      auto ch = std::make_unique<engine::SocketChannel>(sc);
+      // The WELCOME handshake carries the fleet's REMAINING budget, so a
+      // reconnected worker shares the parent's wall clock instead of
+      // resetting its own.
+      if (ch->budget_seconds() > 0.0) {
+        control_->max_seconds = ch->budget_seconds();
+        control_->start = std::chrono::steady_clock::now();
+      }
+      auto w = std::make_unique<engine::CampaignWorker>(std::move(ch));
+      control_->runner = w.get();
+      control_->quiet = true;  // the parent reports once for the fleet
+      runner_ = std::move(w);
     } else if (worker_in_ >= 0) {
       auto w = std::make_unique<engine::CampaignWorker>(worker_in_,
                                                         worker_out_);
@@ -386,15 +500,20 @@ engine::RunControl& StandardOptions::run_control() {
 
 // argv for a dispatch worker: the declaration and scale knobs pass
 // through untouched (the worker must expand the identical campaign), the
-// parent-side output/control flags are stripped, the engine threads are
-// split across the fleet, and the dispatcher appends --worker-fd (and the
-// remaining --max-seconds) per spawn.
-std::vector<std::string> StandardOptions::worker_args() const {
+// parent-side output/control flags are stripped, and the transport adds
+// its own connection flag (--worker-fd per pipe spawn, --connect on the
+// sfly_worker side).  Pipe fleets split the engine threads across
+// workers sharing this machine; TCP fleets do not (each joining machine
+// defaults to its own hardware).
+std::vector<std::string> StandardOptions::worker_args(
+    bool split_threads) const {
   static const char* kParentOnly[] = {"--workers",     "--json",
                                       "--csv",         "--phase-json",
                                       "--progress",    "--profile",
                                       "--threads",     "--max-seconds",
-                                      "--dry-run",     "--bench-json"};
+                                      "--dry-run",     "--bench-json",
+                                      "--listen",      "--lease-ms",
+                                      "--connect"};
   auto parent_only = [](const std::string& f) {
     for (const char* p : kParentOnly)
       if (f == p) return true;
@@ -421,11 +540,13 @@ std::vector<std::string> StandardOptions::worker_args() const {
     out.push_back(args_[i]);
     if (consumed_value) out.push_back(args_[++i]);
   }
-  const unsigned t =
-      threads() ? threads() : static_cast<unsigned>(hardware_threads());
-  out.push_back("--threads");
-  out.push_back(std::to_string(
-      std::max<std::size_t>(1, t / std::max<std::size_t>(1, workers_))));
+  if (split_threads) {
+    const unsigned t =
+        threads() ? threads() : static_cast<unsigned>(hardware_threads());
+    out.push_back("--threads");
+    out.push_back(std::to_string(
+        std::max<std::size_t>(1, t / std::max<std::size_t>(1, workers_))));
+  }
   return out;
 }
 

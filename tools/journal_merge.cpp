@@ -76,12 +76,36 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // A merge that dies half-written must not leave a plausible-looking
+  // partial journal behind: downstream tooling would read a silently
+  // truncated result set.  On any failure, unlink -o output we created
+  // (but never a non-regular target like /dev/null or a pipe).
+  auto drop_partial = [&] {
+    if (out == stdout) return;
+    std::fclose(out);
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(out_path, ec))
+      std::filesystem::remove(out_path, ec);
+  };
   try {
     sfly::engine::CampaignJournal::merge(inputs, out);
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "error: %s — removing partial output\n", e.what());
+    drop_partial();
+    return 74;  // EX_IOERR
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    drop_partial();
     return 1;
   }
-  if (out != stdout) std::fclose(out);
+  if (out != stdout && std::fclose(out) != 0) {
+    std::fprintf(stderr, "error: closing %s failed: %s — removing partial "
+                         "output\n",
+                 out_path.c_str(), std::strerror(errno));
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(out_path, ec))
+      std::filesystem::remove(out_path, ec);
+    return 74;
+  }
   return 0;
 }
