@@ -279,6 +279,21 @@ inline void print_profile(const engine::Campaign& camp,
               "scenario evaluation (%zu scenarios):               %.3f s\n",
               camp.artifact_build_seconds(), camp.total_scenarios(),
               camp.eval_seconds());
+  // Per-topology artifact memory (what a snapshot of this campaign would
+  // hold; zero components were never materialized, e.g. under --workers).
+  const auto& cache = camp.engine().artifacts();
+  const auto names = cache.names();
+  if (names.empty()) return;
+  std::printf("== --profile artifact footprints ==\n");
+  std::size_t total = 0;
+  for (const auto& name : names) {
+    const auto f = cache.get(name)->footprint();
+    total += f.total();
+    std::printf("%-28s %10zu B  (graph %zu, tables %zu, next-hop %zu, spectra %zu)\n",
+                name.c_str(), f.total(), f.graph_bytes, f.tables_bytes,
+                f.next_hops_bytes, f.spectra_bytes);
+  }
+  std::printf("%-28s %10zu B\n", "total", total);
 }
 
 /// Table I's four families for the first `run_classes` size classes as a

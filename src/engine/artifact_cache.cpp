@@ -6,7 +6,10 @@
 namespace sfly::engine {
 
 std::shared_ptr<const Graph> Artifacts::graph() {
+  // The `if (!x_)` guards keep call_once from clobbering components that
+  // the pre-materialized (snapshot) constructor already installed.
   std::call_once(graph_once_, [this] {
+    if (graph_) return;
     graph_ = std::make_shared<const Graph>(build_());
     // The builder (and any graph copy captured in its closure) is dead
     // weight once the artifact exists; don't keep it alive for the
@@ -18,6 +21,7 @@ std::shared_ptr<const Graph> Artifacts::graph() {
 
 std::shared_ptr<const routing::Tables> Artifacts::tables() {
   std::call_once(tables_once_, [this] {
+    if (tables_) return;
     tables_ = std::make_shared<const routing::Tables>(routing::Tables::build(*graph()));
   });
   return tables_;
@@ -25,6 +29,7 @@ std::shared_ptr<const routing::Tables> Artifacts::tables() {
 
 std::shared_ptr<const routing::NextHopIndex> Artifacts::next_hops() {
   std::call_once(next_hops_once_, [this] {
+    if (next_hops_) return;
     next_hops_ = std::make_shared<const routing::NextHopIndex>(
         routing::NextHopIndex::build(*graph(), *tables()));
   });
@@ -33,9 +38,19 @@ std::shared_ptr<const routing::NextHopIndex> Artifacts::next_hops() {
 
 std::shared_ptr<const Spectra> Artifacts::spectra() {
   std::call_once(spectra_once_, [this] {
+    if (spectra_) return;
     spectra_ = std::make_shared<const Spectra>(compute_spectra(*graph()));
   });
   return spectra_;
+}
+
+Artifacts::Footprint Artifacts::footprint() const {
+  Footprint f;
+  if (graph_) f.graph_bytes = graph_->memory_bytes();
+  if (tables_) f.tables_bytes = tables_->memory_bytes();
+  if (next_hops_) f.next_hops_bytes = next_hops_->memory_bytes();
+  if (spectra_) f.spectra_bytes = sizeof(Spectra);
+  return f;
 }
 
 core::Network Artifacts::make_network(std::string name, core::NetworkOptions opts) {
@@ -49,6 +64,11 @@ void ArtifactCache::register_topology(std::string name, std::function<Graph()> b
   auto entry = std::make_shared<Artifacts>(std::move(build), concentration);
   std::unique_lock lock(mu_);
   entries_[std::move(name)] = std::move(entry);
+}
+
+void ArtifactCache::adopt(std::string name, std::shared_ptr<Artifacts> artifacts) {
+  std::unique_lock lock(mu_);
+  entries_[std::move(name)] = std::move(artifacts);
 }
 
 std::shared_ptr<Artifacts> ArtifactCache::get(const std::string& name) const {

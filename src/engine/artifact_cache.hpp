@@ -26,8 +26,33 @@ namespace sfly::engine {
 /// callers block until the single builder finishes, then share the result.
 class Artifacts {
  public:
+  /// Per-component byte sizes of the materialized artifacts (zero for
+  /// components not yet built).  Sizes snapshots and the --profile dump.
+  struct Footprint {
+    std::size_t graph_bytes = 0;
+    std::size_t tables_bytes = 0;
+    std::size_t next_hops_bytes = 0;
+    std::size_t spectra_bytes = 0;
+    [[nodiscard]] std::size_t total() const {
+      return graph_bytes + tables_bytes + next_hops_bytes + spectra_bytes;
+    }
+  };
+
   Artifacts(std::function<Graph()> build, std::uint32_t concentration)
       : build_(std::move(build)), concentration_(concentration) {}
+
+  /// Pre-materialized construction (snapshot restore): the components are
+  /// adopted as-is and the lazy builders never run.  Any nullptr component
+  /// falls back to lazy building from the graph (which must be non-null).
+  Artifacts(std::shared_ptr<const Graph> graph,
+            std::shared_ptr<const routing::Tables> tables,
+            std::shared_ptr<const routing::NextHopIndex> next_hops,
+            std::shared_ptr<const Spectra> spectra, std::uint32_t concentration)
+      : concentration_(concentration),
+        graph_(std::move(graph)),
+        tables_(std::move(tables)),
+        next_hops_(std::move(next_hops)),
+        spectra_(std::move(spectra)) {}
 
   [[nodiscard]] std::uint32_t concentration() const { return concentration_; }
 
@@ -43,6 +68,9 @@ class Artifacts {
   /// registration; routing/vcs/sim knobs pass through.
   [[nodiscard]] core::Network make_network(std::string name,
                                            core::NetworkOptions opts = {});
+
+  /// Bytes per materialized component; does not force any build.
+  [[nodiscard]] Footprint footprint() const;
 
  private:
   std::function<Graph()> build_;
@@ -61,6 +89,10 @@ class ArtifactCache {
   /// (and drops the old artifacts).
   void register_topology(std::string name, std::function<Graph()> build,
                          std::uint32_t concentration = 8);
+
+  /// Install pre-materialized artifacts under `name` (snapshot restore).
+  /// Re-adopting a name replaces the entry, same as register_topology.
+  void adopt(std::string name, std::shared_ptr<Artifacts> artifacts);
 
   /// Shared artifact set for `name`; throws std::out_of_range if unknown.
   [[nodiscard]] std::shared_ptr<Artifacts> get(const std::string& name) const;

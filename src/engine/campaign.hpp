@@ -310,6 +310,7 @@ class Campaign {
     return phases_;
   }
   [[nodiscard]] Engine& engine() { return eng_; }
+  [[nodiscard]] const Engine& engine() const { return eng_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t total_scenarios() const;
   [[nodiscard]] double eval_seconds() const;

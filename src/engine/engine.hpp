@@ -44,6 +44,7 @@ class Engine {
                          std::uint32_t concentration = 8);
 
   [[nodiscard]] ArtifactCache& artifacts() { return cache_; }
+  [[nodiscard]] const ArtifactCache& artifacts() const { return cache_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
   /// Evaluate a batch.  Results arrive in batch order; a scenario that

@@ -17,23 +17,36 @@ Graph Graph::from_edges(Vertex n, std::vector<std::pair<Vertex, Vertex>> edges) 
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  g.offsets_.assign(n + 1, 0);
+  std::vector<std::uint32_t> offsets(n + 1, 0);
   for (auto [u, v] : edges) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
+    ++offsets[u + 1];
+    ++offsets[v + 1];
   }
-  for (Vertex i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
-  g.adj_.resize(2 * edges.size());
-  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (Vertex i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+  std::vector<Vertex> adj(2 * edges.size());
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (auto [u, v] : edges) {
-    g.adj_[cursor[u]++] = v;
-    g.adj_[cursor[v]++] = u;
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
   }
   for (Vertex v = 0; v < n; ++v) {
-    auto* b = g.adj_.data() + g.offsets_[v];
-    auto* e = g.adj_.data() + g.offsets_[v + 1];
-    std::sort(b, e);
+    std::sort(adj.data() + offsets[v], adj.data() + offsets[v + 1]);
   }
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+Graph Graph::from_csr_view(Vertex n, std::span<const std::uint32_t> offsets,
+                           std::span<const Vertex> adj) {
+  if (offsets.size() != static_cast<std::size_t>(n) + 1)
+    throw std::invalid_argument("Graph::from_csr_view: offsets size != n+1");
+  if (n > 0 && offsets[n] != adj.size())
+    throw std::invalid_argument("Graph::from_csr_view: offsets[n] != adj size");
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = OwnedSpan<std::uint32_t>::view(offsets.data(), offsets.size());
+  g.adj_ = OwnedSpan<Vertex>::view(adj.data(), adj.size());
   return g;
 }
 

@@ -3,11 +3,16 @@
 //
 // Vertices are dense 0..n-1 ids (routers).  Edges are bidirectional links.
 // All topology generators produce this type; all analytics consume it.
+// The CSR arrays are OwnedSpans, so a Graph is either self-owned (built by
+// from_edges) or a zero-copy view over externally owned storage such as an
+// mmap'd artifact snapshot (from_csr_view; src/service/snapshot.hpp).
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/owned_span.hpp"
 
 namespace sfly {
 
@@ -20,6 +25,13 @@ class Graph {
   /// Build from an edge list. Self-loops are rejected; duplicate edges are
   /// collapsed (the generators may emit each undirected edge twice).
   static Graph from_edges(Vertex n, std::vector<std::pair<Vertex, Vertex>> edges);
+
+  /// Zero-copy view over externally owned CSR arrays: `offsets` must hold
+  /// n+1 nondecreasing entries, `adj` the offsets[n] neighbor ids sorted
+  /// per vertex.  The backing memory must outlive the Graph and every
+  /// copy of it; no validation beyond the sizes is performed.
+  static Graph from_csr_view(Vertex n, std::span<const std::uint32_t> offsets,
+                             std::span<const Vertex> adj);
 
   [[nodiscard]] Vertex num_vertices() const { return n_; }
   [[nodiscard]] std::size_t num_edges() const { return adj_.size() / 2; }
@@ -42,10 +54,24 @@ class Graph {
   /// Human-readable one-line summary (n, m, degree range).
   [[nodiscard]] std::string summary() const;
 
+  /// Raw CSR arrays (snapshot serialization; read-only).
+  [[nodiscard]] std::span<const std::uint32_t> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  [[nodiscard]] std::span<const Vertex> raw_adjacency() const {
+    return {adj_.data(), adj_.size()};
+  }
+  /// Bytes of CSR payload (owned or viewed) — the footprint accessor.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(std::uint32_t) + adj_.size() * sizeof(Vertex);
+  }
+  /// True when the CSR arrays are borrowed (e.g. from an mmap'd snapshot).
+  [[nodiscard]] bool is_view() const { return adj_.is_view(); }
+
  private:
   Vertex n_ = 0;
-  std::vector<std::uint32_t> offsets_;  // size n+1
-  std::vector<Vertex> adj_;             // size 2m, sorted per vertex
+  OwnedSpan<std::uint32_t> offsets_;  // size n+1
+  OwnedSpan<Vertex> adj_;             // size 2m, sorted per vertex
 };
 
 }  // namespace sfly

@@ -1,11 +1,19 @@
 #include "routing/next_hop_index.hpp"
 
+#include <atomic>
 #include <limits>
 #include <stdexcept>
 
 namespace sfly::routing {
 
+namespace {
+std::atomic<std::uint64_t> g_index_builds{0};
+}  // namespace
+
+std::uint64_t NextHopIndex::builds() { return g_index_builds.load(); }
+
 NextHopIndex NextHopIndex::build(const Graph& g, const Tables& tables) {
+  g_index_builds.fetch_add(1, std::memory_order_relaxed);
   const Vertex n = g.num_vertices();
   if (tables.num_vertices() != n)
     throw std::invalid_argument("NextHopIndex: tables/graph mismatch");
@@ -17,7 +25,7 @@ NextHopIndex NextHopIndex::build(const Graph& g, const Tables& tables) {
   NextHopIndex idx;
   idx.n_ = n;
   const std::size_t rows = static_cast<std::size_t>(n) * n;
-  idx.offsets_.assign(rows + 1, 0);
+  std::vector<std::uint32_t> offsets(rows + 1, 0);
 
   // Pass 1: per-row counts (written as offsets_[row + 1] so the prefix sum
   // below lands each row's base at offsets_[row]).
@@ -30,14 +38,14 @@ NextHopIndex NextHopIndex::build(const Graph& g, const Tables& tables) {
       std::uint32_t c = 0;
       for (Vertex w : nb)
         if (tables.distance(w, v) + 1 == du) ++c;
-      idx.offsets_[static_cast<std::size_t>(u) * n + v + 1] = c;
+      offsets[static_cast<std::size_t>(u) * n + v + 1] = c;
     }
   }
-  for (std::size_t r = 0; r < rows; ++r) idx.offsets_[r + 1] += idx.offsets_[r];
+  for (std::size_t r = 0; r < rows; ++r) offsets[r + 1] += offsets[r];
 
-  const std::size_t entries = idx.offsets_[rows];
-  idx.verts_.resize(entries);
-  idx.slots_.resize(entries);
+  const std::size_t entries = offsets[rows];
+  std::vector<Vertex> verts(entries);
+  std::vector<std::uint16_t> slots(entries);
 
   // Pass 2: fill, preserving adjacency (= scan) order within each row.
 #pragma omp parallel for schedule(dynamic, 8)
@@ -46,16 +54,36 @@ NextHopIndex NextHopIndex::build(const Graph& g, const Tables& tables) {
     for (Vertex v = 0; v < n; ++v) {
       if (static_cast<Vertex>(u) == v) continue;
       const std::uint8_t du = tables.distance(static_cast<Vertex>(u), v);
-      std::uint32_t at = idx.offsets_[static_cast<std::size_t>(u) * n + v];
+      std::uint32_t at = offsets[static_cast<std::size_t>(u) * n + v];
       for (std::size_t s = 0; s < nb.size(); ++s) {
         if (tables.distance(nb[s], v) + 1 == du) {
-          idx.verts_[at] = nb[s];
-          idx.slots_[at] = static_cast<std::uint16_t>(s);
+          verts[at] = nb[s];
+          slots[at] = static_cast<std::uint16_t>(s);
           ++at;
         }
       }
     }
   }
+  idx.offsets_ = std::move(offsets);
+  idx.verts_ = std::move(verts);
+  idx.slots_ = std::move(slots);
+  return idx;
+}
+
+NextHopIndex NextHopIndex::from_view(Vertex n,
+                                     std::span<const std::uint32_t> offsets,
+                                     std::span<const Vertex> verts,
+                                     std::span<const std::uint16_t> slots) {
+  const std::size_t rows = static_cast<std::size_t>(n) * n;
+  if (offsets.size() != rows + 1)
+    throw std::invalid_argument("NextHopIndex::from_view: offsets size != n*n+1");
+  if (rows > 0 && (verts.size() != offsets[rows] || slots.size() != offsets[rows]))
+    throw std::invalid_argument("NextHopIndex::from_view: entry count mismatch");
+  NextHopIndex idx;
+  idx.n_ = n;
+  idx.offsets_ = OwnedSpan<std::uint32_t>::view(offsets.data(), offsets.size());
+  idx.verts_ = OwnedSpan<Vertex>::view(verts.data(), verts.size());
+  idx.slots_ = OwnedSpan<std::uint16_t>::view(slots.data(), slots.size());
   return idx;
 }
 

@@ -19,11 +19,13 @@
 // tests/test_next_hop_index.cpp pins set- and order-equality explicitly.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "routing/policy.hpp"
 #include "routing/tables.hpp"
+#include "util/owned_span.hpp"
 #include "util/rng.hpp"
 
 namespace sfly::routing {
@@ -48,8 +50,36 @@ class NextHopIndex {
   /// exceeds the uint16 slot range.
   static NextHopIndex build(const Graph& g, const Tables& tables);
 
+  /// Zero-copy view over externally owned CSR arrays (e.g. an mmap'd
+  /// snapshot): `offsets` must hold n*n+1 entries, `verts`/`slots` the
+  /// offsets[n*n] parallel hop entries.  The backing memory must outlive
+  /// the index and every copy of it.
+  static NextHopIndex from_view(Vertex n, std::span<const std::uint32_t> offsets,
+                                std::span<const Vertex> verts,
+                                std::span<const std::uint16_t> slots);
+
+  /// Process-wide count of build() calls — warm-restart assertions check
+  /// that snapshot-served queries never trigger an index rebuild.
+  static std::uint64_t builds();
+
   [[nodiscard]] Vertex num_vertices() const { return n_; }
   [[nodiscard]] std::size_t num_entries() const { return verts_.size(); }
+
+  /// Raw CSR arrays (snapshot serialization; read-only).
+  [[nodiscard]] std::span<const std::uint32_t> raw_offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  [[nodiscard]] std::span<const Vertex> raw_verts() const {
+    return {verts_.data(), verts_.size()};
+  }
+  [[nodiscard]] std::span<const std::uint16_t> raw_slots() const {
+    return {slots_.data(), slots_.size()};
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(std::uint32_t) +
+           verts_.size() * sizeof(Vertex) + slots_.size() * sizeof(std::uint16_t);
+  }
+  [[nodiscard]] bool is_view() const { return offsets_.is_view(); }
 
   [[nodiscard]] HopList hops(Vertex u, Vertex v) const {
     const std::size_t row = static_cast<std::size_t>(u) * n_ + v;
@@ -74,9 +104,9 @@ class NextHopIndex {
 
  private:
   Vertex n_ = 0;
-  std::vector<std::uint32_t> offsets_;  // n*n + 1
-  std::vector<Vertex> verts_;           // next-hop router ids
-  std::vector<std::uint16_t> slots_;    // parallel port slots
+  OwnedSpan<std::uint32_t> offsets_;  // n*n + 1
+  OwnedSpan<Vertex> verts_;           // next-hop router ids
+  OwnedSpan<std::uint16_t> slots_;    // parallel port slots
 };
 
 /// Indexed mirror of policy.cpp's source_decision: same entropy streams,

@@ -6,11 +6,18 @@
 
 namespace sfly::routing {
 
+namespace {
+std::atomic<std::uint64_t> g_table_builds{0};
+}  // namespace
+
+std::uint64_t Tables::builds() { return g_table_builds.load(); }
+
 Tables Tables::build(const Graph& g) {
+  g_table_builds.fetch_add(1, std::memory_order_relaxed);
   Tables t;
   const Vertex n = g.num_vertices();
   t.n_ = n;
-  t.dist_.assign(static_cast<std::size_t>(n) * n, 0xFF);
+  std::vector<std::uint8_t> dist_mat(static_cast<std::size_t>(n) * n, 0xFF);
 
   std::uint8_t diameter = 0;
   bool overflow = false, disconnected = false;
@@ -22,7 +29,7 @@ Tables Tables::build(const Graph& g) {
     bool local_over = false, local_disc = false;
 #pragma omp for schedule(dynamic, 8)
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
-      std::uint8_t* dist = t.dist_.data() + static_cast<std::size_t>(s) * n;
+      std::uint8_t* dist = dist_mat.data() + static_cast<std::size_t>(s) * n;
       queue.clear();
       queue.push_back(static_cast<Vertex>(s));
       dist[s] = 0;
@@ -53,6 +60,18 @@ Tables Tables::build(const Graph& g) {
   if (overflow) throw std::runtime_error("routing::Tables: distance overflow");
   if (disconnected) throw std::runtime_error("routing::Tables: graph disconnected");
   t.diameter_ = diameter;
+  t.dist_ = std::move(dist_mat);
+  return t;
+}
+
+Tables Tables::from_view(Vertex n, std::uint8_t diameter,
+                         std::span<const std::uint8_t> dist) {
+  if (dist.size() != static_cast<std::size_t>(n) * n)
+    throw std::invalid_argument("Tables::from_view: dist size != n*n");
+  Tables t;
+  t.n_ = n;
+  t.diameter_ = diameter;
+  t.dist_ = OwnedSpan<std::uint8_t>::view(dist.data(), dist.size());
   return t;
 }
 

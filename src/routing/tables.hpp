@@ -7,10 +7,13 @@
 // iff dist(w,v) == dist(u,v) - 1), which preserves the full path diversity
 // that SpectralFly's routing exploits without storing path sets.
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/owned_span.hpp"
 
 namespace sfly::routing {
 
@@ -19,6 +22,15 @@ class Tables {
   /// Parallel BFS from every vertex. Throws if any distance exceeds 255 or
   /// the graph is disconnected.
   static Tables build(const Graph& g);
+
+  /// Zero-copy view over an externally owned n*n distance matrix (e.g. an
+  /// mmap'd snapshot).  The memory must outlive the Tables and every copy.
+  static Tables from_view(Vertex n, std::uint8_t diameter,
+                          std::span<const std::uint8_t> dist);
+
+  /// Process-wide count of build() calls — warm-restart assertions check
+  /// that snapshot-served queries never trigger an all-pairs rebuild.
+  static std::uint64_t builds();
 
   [[nodiscard]] std::uint8_t distance(Vertex u, Vertex v) const {
     return dist_[static_cast<std::size_t>(u) * n_ + v];
@@ -35,10 +47,17 @@ class Tables {
   [[nodiscard]] Vertex sample_next_hop(const Graph& g, Vertex u, Vertex v,
                                        std::uint64_t entropy) const;
 
+  /// Raw n*n distance matrix (snapshot serialization; read-only).
+  [[nodiscard]] std::span<const std::uint8_t> raw_distances() const {
+    return {dist_.data(), dist_.size()};
+  }
+  [[nodiscard]] std::size_t memory_bytes() const { return dist_.size(); }
+  [[nodiscard]] bool is_view() const { return dist_.is_view(); }
+
  private:
   Vertex n_ = 0;
   std::uint8_t diameter_ = 0;
-  std::vector<std::uint8_t> dist_;
+  OwnedSpan<std::uint8_t> dist_;
 };
 
 }  // namespace sfly::routing

@@ -1,8 +1,152 @@
 #include "topo/factory.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <stdexcept>
+
 #include "nt/numtheory.hpp"
+#include "topo/classic.hpp"
+#include "topo/paley.hpp"
 
 namespace sfly::topo {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// "LPS(11, 7)" -> family "lps", args {11, 7}.
+std::pair<std::string, std::vector<std::uint64_t>> split_spec(
+    const std::string& spec) {
+  const auto open = spec.find('(');
+  const auto close = spec.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open ||
+      close != spec.size() - 1)
+    throw std::invalid_argument("topology spec must look like Family(a,b): " + spec);
+  std::vector<std::uint64_t> args;
+  std::string tok;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = spec[i];
+    if (c == ',' || c == ')') {
+      std::size_t used = 0;
+      std::uint64_t v = 0;
+      try {
+        v = std::stoull(tok, &used);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad topology argument '" + tok + "' in " + spec);
+      }
+      if (used != tok.size() || tok.empty())
+        throw std::invalid_argument("bad topology argument '" + tok + "' in " + spec);
+      args.push_back(v);
+      tok.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      tok += c;
+    }
+  }
+  return {lower(spec.substr(0, open)), std::move(args)};
+}
+
+void want_args(const std::string& spec, std::size_t got,
+               std::initializer_list<std::size_t> allowed) {
+  for (std::size_t n : allowed)
+    if (got == n) return;
+  throw std::invalid_argument("wrong argument count for topology spec: " + spec);
+}
+
+}  // namespace
+
+ParsedTopology parse_topology(const std::string& spec) {
+  auto [family, a] = split_spec(spec);
+  if (family == "lps") {
+    want_args(spec, a.size(), {2});
+    LpsParams p{a[0], a[1]};
+    return {p.name(), [p] { return lps_graph(p); }};
+  }
+  if (family == "sf" || family == "slimfly") {
+    want_args(spec, a.size(), {1});
+    SlimFlyParams p{a[0]};
+    return {p.name(), [p] { return slimfly_graph(p); }};
+  }
+  if (family == "bf" || family == "bundlefly") {
+    want_args(spec, a.size(), {2});
+    BundleFlyParams p{a[0], a[1]};
+    return {p.name(), [p] { return bundlefly_graph(p); }};
+  }
+  if (family == "df" || family == "dragonfly") {
+    want_args(spec, a.size(), {1, 3});
+    DragonFlyParams p = a.size() == 1 ? DragonFlyParams::canonical(a[0])
+                                      : DragonFlyParams{a[0], a[1], a[2]};
+    return {p.name(), [p] { return dragonfly_graph(p); }};
+  }
+  if (family == "paley") {
+    want_args(spec, a.size(), {1});
+    PaleyParams p{a[0]};
+    return {p.name(), [p] { return paley_graph(p); }};
+  }
+  if (family == "hypercube") {
+    want_args(spec, a.size(), {1});
+    const auto d = static_cast<unsigned>(a[0]);
+    return {"Hypercube(" + std::to_string(d) + ")",
+            [d] { return hypercube_graph(d); }};
+  }
+  if (family == "torus") {
+    if (a.empty())
+      throw std::invalid_argument("Torus needs at least one dimension: " + spec);
+    std::vector<std::uint32_t> dims(a.begin(), a.end());
+    std::string name = "Torus(";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      name += (i ? "," : "") + std::to_string(dims[i]);
+    name += ")";
+    return {std::move(name), [dims] { return torus_graph(dims); }};
+  }
+  if (family == "completebipartite") {
+    want_args(spec, a.size(), {2});
+    const auto x = static_cast<std::uint32_t>(a[0]);
+    const auto y = static_cast<std::uint32_t>(a[1]);
+    return {"CompleteBipartite(" + std::to_string(x) + "," + std::to_string(y) + ")",
+            [x, y] { return complete_bipartite_graph(x, y); }};
+  }
+  if (family == "flattenedbutterfly") {
+    want_args(spec, a.size(), {2});
+    const auto x = static_cast<std::uint32_t>(a[0]);
+    const auto y = static_cast<std::uint32_t>(a[1]);
+    return {"FlattenedButterfly(" + std::to_string(x) + "," + std::to_string(y) + ")",
+            [x, y] { return flattened_butterfly_graph(x, y); }};
+  }
+  if (family == "fattree") {
+    want_args(spec, a.size(), {1});
+    const auto k = static_cast<std::uint32_t>(a[0]);
+    return {"FatTree(" + std::to_string(k) + ")", [k] { return fat_tree_graph(k); }};
+  }
+  throw std::invalid_argument("unknown topology family in spec: " + spec);
+}
+
+std::vector<std::string> split_spec_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::string tok;
+  int depth = 0;
+  auto flush = [&] {
+    const auto b = tok.find_first_not_of(" \t");
+    const auto e = tok.find_last_not_of(" \t");
+    if (b != std::string::npos) out.push_back(tok.substr(b, e - b + 1));
+    tok.clear();
+  };
+  for (char c : list) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if ((c == ',' || c == ';') && depth == 0) {
+      flush();
+    } else {
+      tok += c;
+    }
+  }
+  flush();
+  return out;
+}
 
 Instance make_lps(const LpsParams& p) { return {p.name(), lps_graph(p), p.radix()}; }
 

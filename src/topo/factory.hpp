@@ -3,6 +3,7 @@
 // Table-I size classes and the feasible-size enumerations of Fig. 4.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,27 @@ struct Instance {
   Graph graph;
   std::uint32_t radix = 0;
 };
+
+/// A topology spec parsed from text: the canonical name plus a deferred
+/// graph builder suitable for ArtifactCache::register_topology.
+struct ParsedTopology {
+  std::string name;
+  std::function<Graph()> build;
+};
+
+/// Parse a textual topology spec, e.g. "LPS(11,7)", "SF(9)" / "SlimFly(9)",
+/// "BF(13,3)" / "BundleFly(13,3)", "DF(8)" / "DF(8,4,21)" (a,h,g),
+/// "Paley(13)", "Hypercube(6)", "Torus(4,4,4)", "CompleteBipartite(8,8)",
+/// "FlattenedButterfly(4,3)", "FatTree(8)".  Family names are
+/// case-insensitive; whitespace around arguments is ignored.  Throws
+/// std::invalid_argument on an unknown family or malformed argument list
+/// (parameter *validity* is checked lazily by the builder).
+[[nodiscard]] ParsedTopology parse_topology(const std::string& spec);
+
+/// Split a spec *list* on commas/semicolons at paren depth 0, so
+/// "LPS(11,7),SF(9);Paley(13)" -> {"LPS(11,7)", "SF(9)", "Paley(13)"}.
+/// Surrounding whitespace is trimmed; empty items are dropped.
+[[nodiscard]] std::vector<std::string> split_spec_list(const std::string& list);
 
 [[nodiscard]] Instance make_lps(const LpsParams& p);
 [[nodiscard]] Instance make_slimfly(const SlimFlyParams& p);
