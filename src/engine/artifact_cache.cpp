@@ -36,6 +36,21 @@ std::shared_ptr<const routing::NextHopIndex> Artifacts::next_hops() {
   return next_hops_;
 }
 
+std::shared_ptr<const routing::CellIndex> Artifacts::cell_index() {
+  std::call_once(cell_once_, [this] {
+    if (cell_) return;
+    const auto g = graph();
+    if (g->num_vertices() <= kCellExactThreshold) {
+      cell_ = std::make_shared<const routing::CellIndex>(
+          routing::CellIndex::wrap_exact(tables()));
+    } else {
+      cell_ = std::make_shared<const routing::CellIndex>(
+          routing::CellIndex::build(*g));
+    }
+  });
+  return cell_;
+}
+
 std::shared_ptr<const Spectra> Artifacts::spectra() {
   std::call_once(spectra_once_, [this] {
     if (spectra_) return;
@@ -50,6 +65,7 @@ Artifacts::Footprint Artifacts::footprint() const {
   if (tables_) f.tables_bytes = tables_->memory_bytes();
   if (next_hops_) f.next_hops_bytes = next_hops_->memory_bytes();
   if (spectra_) f.spectra_bytes = sizeof(Spectra);
+  if (cell_) f.cells_bytes = cell_->memory_bytes();
   return f;
 }
 

@@ -16,11 +16,18 @@
 
 #include "core/spectralfly_net.hpp"
 #include "graph/graph.hpp"
+#include "routing/cell_index.hpp"
 #include "routing/next_hop_index.hpp"
 #include "routing/tables.hpp"
 #include "spectral/spectra.hpp"
 
 namespace sfly::engine {
+
+/// Vertex-count ceiling for exact all-pairs routing artifacts.  At or
+/// below it, cell_index() wraps the shared Tables (same answers, no extra
+/// memory); above it, the O(V^2) tables are impractical and cell_index()
+/// builds the hierarchical routing::CellIndex instead.
+inline constexpr Vertex kCellExactThreshold = 4096;
 
 /// Lazily materialized per-topology artifacts.  Thread-safe: concurrent
 /// callers block until the single builder finishes, then share the result.
@@ -33,8 +40,10 @@ class Artifacts {
     std::size_t tables_bytes = 0;
     std::size_t next_hops_bytes = 0;
     std::size_t spectra_bytes = 0;
+    std::size_t cells_bytes = 0;  // 0 when cell_index() wraps exact tables
     [[nodiscard]] std::size_t total() const {
-      return graph_bytes + tables_bytes + next_hops_bytes + spectra_bytes;
+      return graph_bytes + tables_bytes + next_hops_bytes + spectra_bytes +
+             cells_bytes;
     }
   };
 
@@ -47,12 +56,14 @@ class Artifacts {
   Artifacts(std::shared_ptr<const Graph> graph,
             std::shared_ptr<const routing::Tables> tables,
             std::shared_ptr<const routing::NextHopIndex> next_hops,
-            std::shared_ptr<const Spectra> spectra, std::uint32_t concentration)
+            std::shared_ptr<const Spectra> spectra, std::uint32_t concentration,
+            std::shared_ptr<const routing::CellIndex> cell = nullptr)
       : concentration_(concentration),
         graph_(std::move(graph)),
         tables_(std::move(tables)),
         next_hops_(std::move(next_hops)),
-        spectra_(std::move(spectra)) {}
+        spectra_(std::move(spectra)),
+        cell_(std::move(cell)) {}
 
   [[nodiscard]] std::uint32_t concentration() const { return concentration_; }
 
@@ -60,6 +71,12 @@ class Artifacts {
   [[nodiscard]] std::shared_ptr<const routing::Tables> tables();
   [[nodiscard]] std::shared_ptr<const routing::NextHopIndex> next_hops();
   [[nodiscard]] std::shared_ptr<const Spectra> spectra();
+
+  /// Scale-adaptive routing artifact: wraps the exact tables at or below
+  /// kCellExactThreshold vertices (bitwise the same answers, no extra
+  /// build), builds the hierarchical cell index above it.  This is the
+  /// only routing accessor that is safe to force at 50k+ routers.
+  [[nodiscard]] std::shared_ptr<const routing::CellIndex> cell_index();
 
   /// A core::Network sharing the cached graph, all-pairs tables, and
   /// next-hop index (Network::from_shared — no per-call BFS rebuild, no
@@ -75,11 +92,13 @@ class Artifacts {
  private:
   std::function<Graph()> build_;
   std::uint32_t concentration_;
-  std::once_flag graph_once_, tables_once_, next_hops_once_, spectra_once_;
+  std::once_flag graph_once_, tables_once_, next_hops_once_, spectra_once_,
+      cell_once_;
   std::shared_ptr<const Graph> graph_;
   std::shared_ptr<const routing::Tables> tables_;
   std::shared_ptr<const routing::NextHopIndex> next_hops_;
   std::shared_ptr<const Spectra> spectra_;
+  std::shared_ptr<const routing::CellIndex> cell_;
 };
 
 class ArtifactCache {

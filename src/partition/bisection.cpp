@@ -275,6 +275,64 @@ void strict_balance(const WGraph& g, std::vector<std::uint8_t>& side) {
   }
 }
 
+// Connected components of a WGraph (BFS); each component's vertex list is
+// in ascending order, components ordered by their smallest vertex.
+std::vector<std::vector<Vertex>> components_of(const WGraph& g) {
+  const Vertex n = g.n();
+  std::vector<std::vector<Vertex>> comps;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    queue.clear();
+    queue.push_back(s);
+    seen[s] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      for (std::uint32_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+        const Vertex v = g.adj[e];
+        if (!seen[v]) {
+          seen[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    std::sort(queue.begin(), queue.end());
+    comps.push_back(queue);
+  }
+  return comps;
+}
+
+// Disconnected graphs: assign whole components first (largest to the
+// currently lighter side), then refine and strictly rebalance.  The BFS
+// region grower used to exhaust a small component and top the side up in
+// raw index order, over-assigning one side with arbitrary vertices of the
+// remaining components before balancing could repair it; packing intact
+// components keeps every zero-cut split at zero cut.
+std::vector<std::uint8_t> components_first_run(
+    const WGraph& g, const std::vector<std::vector<Vertex>>& comps,
+    const BisectionOptions& opts) {
+  std::vector<std::size_t> order(comps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return comps[a].size() > comps[b].size();
+  });
+  std::vector<std::uint8_t> side(g.n(), 0);
+  std::uint64_t wgt[2] = {0, 0};
+  for (std::size_t c : order) {
+    const std::uint8_t s = wgt[1] < wgt[0] ? 1 : 0;
+    for (Vertex v : comps[c]) {
+      side[v] = s;
+      wgt[s] += g.vwgt[v];
+    }
+  }
+  refine(g, side, opts.fm_passes);
+  strict_balance(g, side);
+  refine(g, side, 2);
+  strict_balance(g, side);
+  return side;
+}
+
 std::vector<std::uint8_t> multilevel_run(const WGraph& g0, const BisectionOptions& opts,
                                          Rng& rng) {
   // Coarsen.
@@ -321,13 +379,20 @@ BisectionResult bisect(const Graph& g, const BisectionOptions& opts) {
   WGraph w = to_wgraph(g);
   BisectionResult best;
   best.cut_edges = std::numeric_limits<std::uint64_t>::max();
-  for (int r = 0; r < opts.restarts; ++r) {
-    Rng rng(split_seed(opts.seed, static_cast<std::uint64_t>(r)));
-    auto side = multilevel_run(w, opts, rng);
-    std::uint64_t cut = cut_of(w, side);
-    if (cut < best.cut_edges) {
-      best.cut_edges = cut;
-      best.side = std::move(side);
+  if (const auto comps = components_of(w); comps.size() > 1) {
+    // Deterministic components-first assignment; restarts add nothing
+    // because no randomized region growing is involved.
+    best.side = components_first_run(w, comps, opts);
+    best.cut_edges = cut_of(w, best.side);
+  } else {
+    for (int r = 0; r < opts.restarts; ++r) {
+      Rng rng(split_seed(opts.seed, static_cast<std::uint64_t>(r)));
+      auto side = multilevel_run(w, opts, rng);
+      std::uint64_t cut = cut_of(w, side);
+      if (cut < best.cut_edges) {
+        best.cut_edges = cut;
+        best.side = std::move(side);
+      }
     }
   }
   best.part_sizes[0] = best.part_sizes[1] = 0;

@@ -7,6 +7,7 @@
 
 #include "engine/sink.hpp"
 #include "graph/failures.hpp"
+#include "routing/cell_index.hpp"
 #include "routing/next_hop_index.hpp"
 #include "routing/policy.hpp"
 #include "sim/motifs.hpp"
@@ -154,7 +155,17 @@ std::string QueryEngine::handle_route(const JsonObject& q, std::uint64_t id) {
   const std::string name = register_spec(topo);
   auto art = engine_.artifacts().get(name);
   std::shared_ptr<const Graph> g = art->graph();
-  std::shared_ptr<const routing::Tables> t = art->tables();
+
+  // Scale split: exact all-pairs tables up to engine::kCellExactThreshold
+  // vertices (every pinned byte of the small-topology responses is served
+  // by the unchanged path below), hierarchical cell index beyond it.
+  const bool cell_mode = g->num_vertices() > engine::kCellExactThreshold;
+  std::shared_ptr<const routing::Tables> t;
+  std::shared_ptr<const routing::CellIndex> cell;
+  if (cell_mode)
+    cell = art->cell_index();
+  else
+    t = art->tables();
 
   // Failed-link overlay: "fail":[u1,v1,u2,v2,...].  The overlay tables are
   // query-local (never cached) — this is the "what if these links die"
@@ -180,10 +191,14 @@ std::string QueryEngine::handle_route(const JsonObject& q, std::uint64_t id) {
           Graph::from_edges(g->num_vertices(), std::move(edges)));
       // Throws "graph disconnected" -> error frame when the overlay cuts
       // the destination off; the daemon stays up.
-      auto overlay_tables =
-          std::make_shared<const routing::Tables>(routing::Tables::build(*overlay));
+      if (cell_mode) {
+        cell = std::make_shared<const routing::CellIndex>(
+            routing::CellIndex::build(*overlay));
+      } else {
+        t = std::make_shared<const routing::Tables>(
+            routing::Tables::build(*overlay));
+      }
       g = std::move(overlay);
-      t = std::move(overlay_tables);
     }
   }
 
@@ -191,22 +206,53 @@ std::string QueryEngine::handle_route(const JsonObject& q, std::uint64_t id) {
   if (src >= n || dst >= n)
     throw std::invalid_argument("src/dst out of range (n=" + std::to_string(n) + ")");
 
-  // Zero-occupancy queue probe: with no live traffic UGAL degenerates to
-  // its deterministic tie-break, which keeps route answers reproducible.
-  const routing::QueueProbe probe = [](Vertex, Vertex) { return 0ull; };
-  routing::PacketRoute route = routing::source_decision(
-      algo, *g, *t, static_cast<Vertex>(src), static_cast<Vertex>(dst), seed, probe);
-
+  routing::PacketRoute route;
   std::vector<Vertex> path{static_cast<Vertex>(src)};
   Vertex at = static_cast<Vertex>(src);
-  const std::size_t max_hops = 4u * t->diameter() + 16;
   std::uint64_t hop = 0;
-  while (at != static_cast<Vertex>(dst)) {
-    if (hop >= max_hops)
-      throw std::runtime_error("routing loop (exceeded hop budget)");
-    at = routing::next_hop(*g, *t, at, static_cast<Vertex>(dst), route,
-                           split_seed(seed, hop++));
-    path.push_back(at);
+  if (!cell_mode) {
+    // Zero-occupancy queue probe: with no live traffic UGAL degenerates to
+    // its deterministic tie-break, which keeps route answers reproducible.
+    const routing::QueueProbe probe = [](Vertex, Vertex) { return 0ull; };
+    route = routing::source_decision(algo, *g, *t, static_cast<Vertex>(src),
+                                     static_cast<Vertex>(dst), seed, probe);
+    const std::size_t max_hops = 4u * t->diameter() + 16;
+    while (at != static_cast<Vertex>(dst)) {
+      if (hop >= max_hops)
+        throw std::runtime_error("routing loop (exceeded hop budget)");
+      at = routing::next_hop(*g, *t, at, static_cast<Vertex>(dst), route,
+                             split_seed(seed, hop++));
+      path.push_back(at);
+    }
+  } else {
+    // Mirror source_decision under the zero-occupancy probe: UGAL's
+    // q_val*h_val < q_min*h_min comparison reads 0 < 0 — always minimal —
+    // so only valiant needs the intermediate, drawn from the exact
+    // entropy stream source_decision uses.  Sampled hops themselves are
+    // bitwise what the exact tables would pick (CellQuery contract).
+    if (algo == routing::Algo::kValiant && src != dst) {
+      std::uint64_t draw = 0xA11CE;
+      Vertex mid = static_cast<Vertex>(split_seed(seed, draw) % n);
+      while (mid == src || mid == dst)
+        mid = static_cast<Vertex>(split_seed(seed, ++draw) % n);
+      route.valiant = true;
+      route.intermediate = mid;
+    }
+    routing::CellQuery cq = cell->make_query(*g);
+    const std::size_t max_hops = 4u * cell->diameter_bound() + 16;
+    while (at != static_cast<Vertex>(dst)) {
+      if (hop >= max_hops)
+        throw std::runtime_error("routing loop (exceeded hop budget)");
+      const std::uint64_t e = split_seed(seed, hop++);
+      if (route.valiant && route.phase == 0 && at == route.intermediate)
+        route.phase = 1;
+      const Vertex target = (route.valiant && route.phase == 0)
+                                ? route.intermediate
+                                : static_cast<Vertex>(dst);
+      if (cq.dst() != target) cq.prepare(target);
+      at = cq.sample_next_hop(at, e);
+      path.push_back(at);
+    }
   }
 
   std::string out = "{\"id\":" + std::to_string(id) +
@@ -363,7 +409,7 @@ std::string QueryEngine::handle_rank(const JsonObject& q, std::uint64_t id) {
 }
 
 std::string QueryEngine::handle_stats(const JsonObject&, std::uint64_t id) {
-  std::size_t graph_b = 0, tables_b = 0, nh_b = 0, spectra_b = 0;
+  std::size_t graph_b = 0, tables_b = 0, nh_b = 0, spectra_b = 0, cells_b = 0;
   const auto names = engine_.artifacts().names();
   for (const auto& name : names) {
     const auto f = engine_.artifacts().get(name)->footprint();
@@ -371,6 +417,7 @@ std::string QueryEngine::handle_stats(const JsonObject&, std::uint64_t id) {
     tables_b += f.tables_bytes;
     nh_b += f.next_hops_bytes;
     spectra_b += f.spectra_bytes;
+    cells_b += f.cells_bytes;
   }
   std::string out = "{\"id\":" + std::to_string(id) +
                     ",\"ok\":true,\"kind\":\"stats\",\"queries\":" +
@@ -381,12 +428,14 @@ std::string QueryEngine::handle_stats(const JsonObject&, std::uint64_t id) {
     out += (i ? "," : "") + jstr(names[i]);
   out += "],\"tables_built\":" + std::to_string(routing::Tables::builds()) +
          ",\"index_built\":" + std::to_string(routing::NextHopIndex::builds()) +
+         ",\"cells_built\":" + std::to_string(routing::CellIndex::builds()) +
          ",\"graph_bytes\":" + std::to_string(graph_b) +
          ",\"tables_bytes\":" + std::to_string(tables_b) +
          ",\"next_hops_bytes\":" + std::to_string(nh_b) +
+         ",\"cells_bytes\":" + std::to_string(cells_b) +
          ",\"spectra_bytes\":" + std::to_string(spectra_b) +
-         ",\"total_bytes\":" + std::to_string(graph_b + tables_b + nh_b + spectra_b) +
-         "}";
+         ",\"total_bytes\":" +
+         std::to_string(graph_b + tables_b + nh_b + cells_b + spectra_b) + "}";
   return out;
 }
 

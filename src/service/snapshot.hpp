@@ -29,16 +29,21 @@
 namespace sfly::service {
 
 /// Snapshot file format version; bumped on any layout change.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: per-entry artifact flags + hierarchical cell-index blobs, so
+/// 50k+-router topologies snapshot their CellIndex instead of the
+/// impractical O(V^2) tables.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// 64-bit FNV-1a over `n` bytes (the snapshot fingerprint hash).
 [[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t n);
 
 /// Serialize every topology in `cache` to `path` (written to a temp file
 /// and renamed, so readers never see a torn snapshot).  Forces graph,
-/// tables, next-hop index, and spectra materialization for each entry.
-/// Throws std::runtime_error on I/O failure or an unserializable entry
-/// (e.g. a topology name too long for the fixed-width descriptor).
+/// spectra, and the scale-appropriate routing artifact per entry: exact
+/// tables + next-hop index at or below engine::kCellExactThreshold
+/// vertices, the hierarchical cell index above it.  Throws
+/// std::runtime_error on I/O failure or an unserializable entry (e.g. a
+/// topology name too long for the fixed-width descriptor).
 void write_snapshot(const std::string& path, engine::ArtifactCache& cache);
 
 /// A validated, read-only mmap of a snapshot file.

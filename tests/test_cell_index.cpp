@@ -1,0 +1,201 @@
+// Randomized small-V equivalence harness for the hierarchical cell index:
+// on graphs small enough to afford exact all-pairs tables, a cell-mode
+// CellIndex (tiny forced cells, so the hierarchy is actually exercised)
+// must reproduce the Tables answers exactly — distances, minimal next-hop
+// sets, and the sampled next hop bit for bit.  This is the pin that lets
+// the 50k+-router path ship without a 50k-router oracle.
+
+#include "routing/cell_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "engine/artifact_cache.hpp"
+#include "routing/tables.hpp"
+#include "topo/factory.hpp"
+#include "util/rng.hpp"
+
+namespace sfly::routing {
+namespace {
+
+// Random connected graph: a random spanning tree (each vertex v >= 1
+// attaches to a uniform earlier vertex) plus `extra` random non-loop
+// edges; duplicates collapse in from_edges.
+Graph random_connected_graph(Vertex n, std::size_t extra, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex v = 1; v < n; ++v)
+    e.emplace_back(v, static_cast<Vertex>(uniform_below(rng, v)));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const Vertex u = static_cast<Vertex>(uniform_below(rng, n));
+    const Vertex w = static_cast<Vertex>(uniform_below(rng, n));
+    if (u != w) e.emplace_back(u, w);
+  }
+  return Graph::from_edges(n, std::move(e));
+}
+
+// Cell-mode options with cells far below the graph size, so every query
+// crosses the boundary overlay.
+CellIndex::Options tiny_cells(std::uint64_t seed = 1) {
+  CellIndex::Options o;
+  o.max_cell_size = 8;
+  o.seed = seed;
+  return o;
+}
+
+void expect_equivalent(const Graph& g, const Tables& t, const CellIndex& x) {
+  const Vertex n = g.num_vertices();
+  CellQuery q = x.make_query(g);
+  std::vector<Vertex> want, got;
+  for (Vertex dst = 0; dst < n; ++dst) {
+    q.prepare(dst);
+    for (Vertex u = 0; u < n; ++u) {
+      ASSERT_EQ(q.distance(u), t.distance(u, dst))
+          << "d(" << u << "," << dst << ")";
+      t.minimal_next_hops(g, u, dst, want);
+      q.minimal_next_hops(u, got);
+      ASSERT_EQ(got, want) << "hops(" << u << "," << dst << ")";
+      if (u == dst) continue;
+      for (std::uint64_t entropy : {0ull, 1ull, 7ull, 0xDEADBEEFull})
+        ASSERT_EQ(q.sample_next_hop(u, entropy),
+                  t.sample_next_hop(g, u, dst, entropy))
+            << "sample(" << u << "," << dst << "," << entropy << ")";
+    }
+  }
+}
+
+TEST(CellIndex, MatchesTablesOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Vertex n = static_cast<Vertex>(24 + 7 * seed);
+    const Graph g = random_connected_graph(n, 2 * n, seed);
+    const Tables t = Tables::build(g);
+    const CellIndex x = CellIndex::build(g, tiny_cells(seed));
+    ASSERT_FALSE(x.exact());
+    ASSERT_GT(x.num_cells(), 1u);
+    expect_equivalent(g, t, x);
+  }
+}
+
+TEST(CellIndex, MatchesTablesOnRegisteredTopologies) {
+  for (const char* spec : {"Paley(13)", "DF(4)", "Hypercube(4)"}) {
+    auto parsed = topo::parse_topology(spec);
+    const Graph g = parsed.build();
+    const Tables t = Tables::build(g);
+    const CellIndex x = CellIndex::build(g, tiny_cells());
+    ASSERT_FALSE(x.exact()) << spec;
+    expect_equivalent(g, t, x);
+  }
+}
+
+TEST(CellIndex, SingleCellGraphStillAnswers) {
+  // n <= max_cell_size: one cell, no boundary vertices, intra == exact.
+  const Graph g = random_connected_graph(20, 30, 42);
+  const Tables t = Tables::build(g);
+  CellIndex::Options o;
+  o.max_cell_size = 32;
+  const CellIndex x = CellIndex::build(g, o);
+  EXPECT_EQ(x.num_cells(), 1u);
+  EXPECT_EQ(x.num_boundary(), 0u);
+  expect_equivalent(g, t, x);
+}
+
+TEST(CellIndex, WrapExactDelegatesBitwise) {
+  const Graph g = random_connected_graph(40, 80, 3);
+  auto t = std::make_shared<const Tables>(Tables::build(g));
+  const CellIndex x = CellIndex::wrap_exact(t);
+  EXPECT_TRUE(x.exact());
+  EXPECT_EQ(x.exact_tables().get(), t.get());
+  EXPECT_EQ(x.memory_bytes(), 0u);
+  EXPECT_EQ(x.diameter_bound(), t->diameter());
+  expect_equivalent(g, *t, x);
+}
+
+TEST(CellIndex, ViewRoundTripAnswersIdentically) {
+  const Graph g = random_connected_graph(50, 100, 9);
+  const Tables t = Tables::build(g);
+  const CellIndex built = CellIndex::build(g, tiny_cells(9));
+  const CellIndex view = CellIndex::from_view(built.views());
+  EXPECT_FALSE(built.is_view());
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.memory_bytes(), built.memory_bytes());
+  expect_equivalent(g, t, view);
+}
+
+TEST(CellIndex, DiameterBoundIsAnUpperBound) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = random_connected_graph(60, 90, seed);
+    const Tables t = Tables::build(g);
+    const CellIndex x = CellIndex::build(g, tiny_cells(seed));
+    EXPECT_GE(x.diameter_bound(), t.diameter());
+  }
+}
+
+TEST(CellIndex, ThrowsOnDisconnected) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_THROW((void)CellIndex::build(g, tiny_cells()), std::runtime_error);
+}
+
+TEST(CellIndex, RejectsBadOptions) {
+  const Graph g = random_connected_graph(10, 5, 1);
+  CellIndex::Options o;
+  o.max_cell_size = 0;
+  EXPECT_THROW((void)CellIndex::build(g, o), std::invalid_argument);
+  o.max_cell_size = 256;
+  EXPECT_THROW((void)CellIndex::build(g, o), std::invalid_argument);
+}
+
+TEST(CellIndex, DeterministicForSeed) {
+  const Graph g = random_connected_graph(64, 120, 5);
+  const CellIndex a = CellIndex::build(g, tiny_cells(7));
+  const CellIndex b = CellIndex::build(g, tiny_cells(7));
+  const auto va = a.views();
+  const auto vb = b.views();
+  ASSERT_EQ(va.num_cells, vb.num_cells);
+  ASSERT_EQ(va.num_boundary, vb.num_boundary);
+  EXPECT_TRUE(std::equal(va.cell_of.begin(), va.cell_of.end(),
+                         vb.cell_of.begin(), vb.cell_of.end()));
+  EXPECT_TRUE(std::equal(va.intra.begin(), va.intra.end(), vb.intra.begin(),
+                         vb.intra.end()));
+  EXPECT_TRUE(std::equal(va.ov_adj.begin(), va.ov_adj.end(), vb.ov_adj.begin(),
+                         vb.ov_adj.end()));
+}
+
+TEST(CellIndex, ArtifactsWrapExactBelowThreshold) {
+  // Small topologies keep the exact representation behind the Artifacts
+  // accessor: same Tables object, zero extra bytes, zero cell builds.
+  engine::ArtifactCache cache;
+  auto parsed = topo::parse_topology("Paley(13)");
+  cache.register_topology(parsed.name, std::move(parsed.build));
+  auto art = cache.get("Paley(13)");
+  const std::uint64_t builds_before = CellIndex::builds();
+  auto cell = art->cell_index();
+  ASSERT_TRUE(cell->exact());
+  EXPECT_EQ(cell->exact_tables().get(), art->tables().get());
+  EXPECT_EQ(CellIndex::builds(), builds_before);
+  EXPECT_EQ(art->footprint().cells_bytes, 0u);
+
+  // The walk a cell-mode route would take is byte-identical to the exact
+  // one — sample-by-sample over every pair at a fixed seed.
+  auto g = art->graph();
+  auto t = art->tables();
+  CellQuery q = cell->make_query(*g);
+  for (Vertex dst = 0; dst < g->num_vertices(); ++dst) {
+    q.prepare(dst);
+    for (Vertex u = 0; u < g->num_vertices(); ++u) {
+      if (u == dst) continue;
+      Vertex at_exact = u, at_cell = u;
+      std::uint64_t hop = 0;
+      while (at_exact != dst) {
+        const std::uint64_t e = split_seed(11, hop++);
+        at_exact = t->sample_next_hop(*g, at_exact, dst, e);
+        at_cell = q.sample_next_hop(at_cell, e);
+        ASSERT_EQ(at_cell, at_exact);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfly::routing

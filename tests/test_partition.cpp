@@ -107,5 +107,73 @@ TEST(Bisection, NormalizedScale) {
   EXPECT_LT(normalized_bisection_bandwidth(cycle_graph(64)), 0.05);
 }
 
+// Disjoint union of graphs, remapping each component's ids by `shift`.
+Graph disjoint_union(std::initializer_list<Graph> parts) {
+  std::vector<std::pair<Vertex, Vertex>> e;
+  Vertex shift = 0;
+  for (const Graph& g : parts) {
+    for (auto [u, v] : g.edge_list()) e.emplace_back(shift + u, shift + v);
+    shift += g.num_vertices();
+  }
+  return Graph::from_edges(shift, std::move(e));
+}
+
+TEST(BisectionDisconnected, TwoCliquesCutZero) {
+  // Regression: the BFS grower used to exhaust the first component and
+  // top side 0 up with leftover vertices in raw index order, splitting
+  // whole components across the cut for no reason.  Two disjoint K4s
+  // admit a perfect zero-cut bisection.
+  auto r = bisect(disjoint_union({complete_graph(4), complete_graph(4)}));
+  EXPECT_EQ(r.cut_edges, 0u);
+  EXPECT_EQ(r.part_sizes[0], 4u);
+  EXPECT_EQ(r.part_sizes[1], 4u);
+}
+
+TEST(BisectionDisconnected, InterleavedIdsCutZero) {
+  // Two 16-cycles on even and odd vertex ids — components whose ids
+  // interleave, so any index-order assignment mixes them.
+  std::vector<std::pair<Vertex, Vertex>> e;
+  for (Vertex i = 0; i < 16; ++i) {
+    e.emplace_back(2 * i, 2 * ((i + 1) % 16));
+    e.emplace_back(2 * i + 1, 2 * ((i + 1) % 16) + 1);
+  }
+  auto r = bisect(Graph::from_edges(32, std::move(e)));
+  EXPECT_EQ(r.cut_edges, 0u);
+  EXPECT_EQ(r.part_sizes[0], 16u);
+  EXPECT_EQ(r.part_sizes[1], 16u);
+}
+
+TEST(BisectionDisconnected, CliquePlusIsolatedVerticesCutZero) {
+  // K6 plus six isolated vertices: the clique packs whole onto one side,
+  // the singletons fill the other.
+  auto r = bisect(disjoint_union({complete_graph(6), Graph::from_edges(6, {})}));
+  EXPECT_EQ(r.cut_edges, 0u);
+  EXPECT_EQ(r.part_sizes[0], 6u);
+  EXPECT_EQ(r.part_sizes[1], 6u);
+}
+
+TEST(BisectionDisconnected, BalancedWhenNoExactPackingExists) {
+  // Components of sizes 5 / 4 / 3: no subset sums to 6, so strict balance
+  // must cut something — but the split stays exactly balanced and the
+  // side vector matches the reported cut.
+  auto g = disjoint_union({cycle_graph(5), cycle_graph(4), cycle_graph(3)});
+  auto r = bisect(g);
+  EXPECT_EQ(r.part_sizes[0], 6u);
+  EXPECT_EQ(r.part_sizes[1], 6u);
+  std::uint64_t recount = 0;
+  for (auto [u, v] : g.edge_list())
+    if (r.side[u] != r.side[v]) ++recount;
+  EXPECT_EQ(recount, r.cut_edges);
+  EXPECT_LE(r.cut_edges, 4u);  // at worst split the smallest cycle
+}
+
+TEST(BisectionDisconnected, DeterministicForSeed) {
+  auto g = disjoint_union({cycle_graph(9), complete_graph(5), cycle_graph(6)});
+  auto a = bisect(g, {.restarts = 2, .seed = 7});
+  auto b = bisect(g, {.restarts = 2, .seed = 7});
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+  EXPECT_EQ(a.side, b.side);
+}
+
 }  // namespace
 }  // namespace sfly

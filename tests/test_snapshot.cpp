@@ -264,5 +264,61 @@ TEST(Snapshot, WarmRestartAnswersByteIdenticallyWithoutRebuilding) {
   EXPECT_EQ(routing::NextHopIndex::builds(), index_before);
 }
 
+TEST(Snapshot, CellModeEntryRoundTripsAndServesWithoutRebuilding) {
+  // Hypercube(13) has 8192 routers — past kCellExactThreshold, so its
+  // snapshot entry carries cell-index blobs and no O(V^2) tables.  The
+  // warm engine must answer routes byte-identically to the cold one with
+  // zero table/index/cell builds.
+  const auto path = tmp("cellmode");
+  const std::string spec = "Hypercube(13)";
+
+  QueryEngine cold;
+  cold.register_spec(spec);
+  auto cold_art = cold.engine().artifacts().get(spec);
+  (void)cold_art->graph();
+  (void)cold_art->spectra();
+  auto cold_cell = cold_art->cell_index();
+  ASSERT_FALSE(cold_cell->exact());
+  ASSERT_FALSE(cold_cell->is_view());
+  EXPECT_EQ(cold_art->footprint().tables_bytes, 0u);
+  EXPECT_GT(cold_art->footprint().cells_bytes, 0u);
+  write_snapshot(path, cold.engine().artifacts());
+
+  const std::vector<std::string> requests = {
+      R"js({"id":1,"kind":"route","topo":"Hypercube(13)","src":0,"dst":8191,"algo":"minimal"})js",
+      R"js({"id":2,"kind":"route","topo":"Hypercube(13)","src":5,"dst":4000,"algo":"ugal-l","seed":3})js",
+      R"js({"id":3,"kind":"route","topo":"Hypercube(13)","src":17,"dst":1234,"algo":"valiant","seed":7})js",
+  };
+  std::vector<std::string> expected;
+  for (const auto& r : requests) expected.push_back(cold.handle(r));
+
+  QueryEngine warm;
+  auto snap = Snapshot::open(path);
+  Snapshot::load_into(snap, warm.engine().artifacts());
+  auto warm_art = warm.engine().artifacts().get(spec);
+  auto warm_cell = warm_art->cell_index();
+  ASSERT_FALSE(warm_cell->exact());
+  EXPECT_TRUE(warm_cell->is_view());
+  EXPECT_EQ(warm_cell->num_cells(), cold_cell->num_cells());
+  EXPECT_EQ(warm_cell->num_boundary(), cold_cell->num_boundary());
+  const auto va = cold_cell->views();
+  const auto vb = warm_cell->views();
+  expect_span_eq(va.intra, vb.intra, "intra matrices");
+  expect_span_eq(va.ov_adj, vb.ov_adj, "overlay adjacency");
+  EXPECT_TRUE(snap->contains(vb.intra.data()));
+
+  const auto tables_before = routing::Tables::builds();
+  const auto index_before = routing::NextHopIndex::builds();
+  const auto cells_before = routing::CellIndex::builds();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(warm.handle(requests[i]), expected[i]) << requests[i];
+    EXPECT_NE(expected[i].find("\"ok\":true"), std::string::npos)
+        << expected[i];
+  }
+  EXPECT_EQ(routing::Tables::builds(), tables_before);
+  EXPECT_EQ(routing::NextHopIndex::builds(), index_before);
+  EXPECT_EQ(routing::CellIndex::builds(), cells_before);
+}
+
 }  // namespace
 }  // namespace sfly::service

@@ -86,11 +86,17 @@ int main(int argc, char** argv) {
         queries.engine().register_topology(parsed.name, std::move(parsed.build),
                                            concentration);
         // Materialize everything now: daemons take the build cost at
-        // startup, not on the first unlucky query.
+        // startup, not on the first unlucky query.  Above the cell
+        // threshold the route artifact is the hierarchical cell index;
+        // forcing the O(V^2) tables there would be gigabytes (a sim
+        // query on such a topology still builds them lazily).
         auto art = queries.engine().artifacts().get(parsed.name);
-        (void)art->graph();
-        (void)art->tables();
-        (void)art->next_hops();
+        if (art->graph()->num_vertices() > sfly::engine::kCellExactThreshold) {
+          (void)art->cell_index();
+        } else {
+          (void)art->tables();
+          (void)art->next_hops();
+        }
         (void)art->spectra();
         const auto f = art->footprint();
         std::fprintf(stderr, "# sflyd: built %s (%zu bytes of artifacts)\n",
